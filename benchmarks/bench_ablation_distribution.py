@@ -1,0 +1,18 @@
+"""Ablation (§3.3): context distribution mode inside a full application run.
+
+At application start, all 150 cold workers need the 572 MB environment.
+With peer (spanning-tree) transfers the manager seeds a few workers and
+the fleet distributes among itself; manager-only distribution serializes
+86 GB through the manager's NIC and delays every first task.
+"""
+
+from repro.bench import ablation_sim_distribution
+
+
+def test_ablation_sim_distribution(benchmark, show):
+    result = benchmark.pedantic(ablation_sim_distribution, rounds=1, iterations=1)
+    show(result)
+    v = result.values
+    # Peer transfer never loses, and wins at both levels.
+    assert v["L2_peer"] <= v["L2_manager-only"]
+    assert v["L3_peer"] <= v["L3_manager-only"]

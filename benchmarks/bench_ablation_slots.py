@@ -1,0 +1,22 @@
+"""Ablation (§3.5.2): library slot geometry.
+
+"To run 8 invocations concurrently ... one can set the library to occupy
+the whole worker node and set the number of invocation slots to 8.  An
+alternative strategy is to set each library to use 4 cores and have 1
+invocation slot."  Both geometries deliver the same concurrency; the
+many-small-libraries layout deploys 16x the instances (more setup work,
+spread in parallel) while the single-big-library layout concentrates
+setup in one process per worker.
+"""
+
+from repro.bench import ablation_library_slots
+
+
+def test_ablation_library_slots(benchmark, show):
+    result = benchmark.pedantic(ablation_library_slots, rounds=1, iterations=1)
+    show(result)
+    v = result.values
+    assert v["libraries_1"] == 16 * v["libraries_16"]
+    # Same steady-state concurrency => makespans within 25%.
+    ratio = v["makespan_1"] / v["makespan_16"]
+    assert 0.75 < ratio < 1.25

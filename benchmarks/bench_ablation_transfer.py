@@ -1,0 +1,17 @@
+"""Ablation (Figure 3): context distribution regimes.
+
+Manager-only broadcasting serializes on the manager's NIC; the peer
+spanning tree uses aggregate worker bandwidth; cluster-aware planning
+avoids repeated slow inter-cluster hops when half the fleet is remote.
+"""
+
+from repro.bench import ablation_transfer_modes
+
+
+def test_ablation_transfer_modes(benchmark, show):
+    result = benchmark.pedantic(ablation_transfer_modes, rounds=1, iterations=1)
+    show(result)
+    v = result.values
+    assert v["peer"] < v["manager-only"] / 2.0
+    # With a slow inter-cluster link, cluster-aware beats naive peer.
+    assert v["cluster-aware_2c"] < v["peer_2c"]

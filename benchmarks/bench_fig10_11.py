@@ -1,0 +1,22 @@
+"""Figures 10 & 11: library deployment count and share value over time.
+
+Paper: the number of deployed libraries ramps up quickly, peaks, and
+"gradually falls off to around 2,000 active libraries"; the average
+share value (invocations served per library) "grows linearly as
+invocations complete".
+"""
+
+from repro.bench import fig10_11_library_curves
+
+
+def test_fig10_11_library_curves(benchmark, show):
+    result = benchmark.pedantic(fig10_11_library_curves, rounds=1, iterations=1)
+    show(result)
+    v = result.values
+    assert v["peak_libraries"] == 2400                     # 150 workers x 16
+    assert 1200 <= v["steady_state_libraries"] <= 2300     # paper: ~2000
+    # Share value grows roughly linearly: the sampled curve is increasing
+    # over the middle of the run.
+    shares = [s for done, s in v["shares"] if 0.1 <= done / 100_000 <= 0.9]
+    assert all(b >= a - 1e-6 for a, b in zip(shares, shares[1:]))
+    assert shares[-1] > 5 * max(shares[0], 1.0)

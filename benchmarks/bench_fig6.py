@@ -1,0 +1,18 @@
+"""Figure 6: execution time of LNNI-100k and ExaMol-10k per reuse level.
+
+Paper: LNNI 7485s (L1) -> 3361s (L2) -> 414s (L3), a 94.5% reduction;
+ExaMol 4600s (L1) -> 3364s (L2), a 26.9% reduction.  Simulated on the
+Table-3 fleet; see repro.sim.calibration for the measured/fitted split.
+"""
+
+from repro.bench import fig6_execution_times
+
+
+def test_fig6_execution_times(benchmark, show):
+    result = benchmark.pedantic(fig6_execution_times, rounds=1, iterations=1)
+    show(result)
+    v = result.values
+    assert v["lnni_L3"] < v["lnni_L2"] < v["lnni_L1"]
+    assert 85.0 < v["lnni_reduction_pct"] < 99.0          # paper: 94.5%
+    assert v["examol_L2"] < v["examol_L1"]
+    assert 15.0 < v["examol_reduction_pct"] < 40.0        # paper: 26.9%

@@ -1,0 +1,17 @@
+"""Figure 7: histograms of LNNI invocation run time per reuse level.
+
+Paper: "most invocations [L1] tend to execute within 12-20s, while
+invocations in L2 spread around 10-16s, and those in L3 cluster around
+3-7s" — the histogram mode shifts left and tightens as reuse deepens.
+"""
+
+from repro.bench import fig7_histograms
+
+
+def test_fig7_histograms(benchmark, show):
+    result = benchmark.pedantic(fig7_histograms, rounds=1, iterations=1)
+    show(result)
+    v = result.values
+    # Mode bins shift left with deeper reuse.
+    assert v["L3_mode_lo"] < v["L2_mode_lo"] < v["L1_mode_lo"]
+    assert v["L3_mode_lo"] >= 2.0 and v["L3_mode_hi"] <= 8.0   # paper: 3-7s cluster

@@ -1,0 +1,19 @@
+"""Figure 8: effect of invocation length on the benefit of context reuse.
+
+Paper: with 16 inferences per invocation, L3 cuts execution time 81%/75%
+versus L1/L2; at 160 the cut is ~41%; at 1,600 it shrinks to 15.6%/3.7%.
+"The shorter a function invocation, the more important it is for
+invocations to reuse their function context."
+"""
+
+from repro.bench import fig8_invocation_length_sweep
+
+
+def test_fig8_invocation_length_sweep(benchmark, show):
+    result = benchmark.pedantic(fig8_invocation_length_sweep, rounds=1, iterations=1)
+    show(result)
+    v = result.values
+    # The reuse benefit decays monotonically with invocation length.
+    assert v["reduction_vs_l1_16"] > v["reduction_vs_l1_160"] > v["reduction_vs_l1_1600"]
+    assert v["reduction_vs_l1_16"] > 70.0      # paper: 81%
+    assert v["reduction_vs_l1_1600"] < 35.0    # paper: 15.6%

@@ -1,0 +1,20 @@
+"""Figure 9: effect of worker count on execution time.
+
+Paper: LNNI-10k under L3 "does not improve much if at all" from 50 to
+150 workers (overheads, not compute, dominate); shrinking to 25 and 10
+workers pushes L3 up to 145s and 455s.
+"""
+
+from repro.bench import fig9_worker_sweep
+
+
+def test_fig9_worker_sweep(benchmark, show):
+    result = benchmark.pedantic(fig9_worker_sweep, rounds=1, iterations=1)
+    show(result)
+    v = result.values
+    # L3 at >= 50 workers is insensitive to worker count (within 2.5x),
+    # while starving it to 10 workers clearly hurts.
+    l3 = [v["L3_50"], v["L3_100"], v["L3_150"]]
+    assert max(l3) / min(l3) < 2.5
+    assert v["L3_10"] > v["L3_25"] > min(l3)
+    assert v["L3_10"] > 2.0 * min(l3)

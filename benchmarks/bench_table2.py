@@ -1,0 +1,20 @@
+"""Table 2: overhead of executing Python functions three ways.
+
+Paper: Local Invocation 8.89e-5s total; Remote Task 0.19s/invocation;
+Remote Invocation 2.52e-3s/invocation.  The reproduction target is the
+orders-of-magnitude contrast between task mode and invocation mode, not
+the absolute values (different hardware, scaled-down N by default —
+set REPRO_BENCH_FULL=1 for 1,000 functions per mode).
+"""
+
+from repro.bench import table2_overhead
+
+
+def test_table2_overhead(benchmark, show):
+    result = benchmark.pedantic(table2_overhead, rounds=1, iterations=1)
+    show(result)
+    # Shape assertions: each execution mode is at least an order of
+    # magnitude apart in per-invocation overhead, as in the paper.
+    v = result.values
+    assert v["local_per_invocation"] < v["invocation_per_invocation"] / 10
+    assert v["invocation_per_invocation"] < v["task_per_invocation"] / 10

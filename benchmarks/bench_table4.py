@@ -1,0 +1,20 @@
+"""Table 4: invocation run-time statistics for LNNI-100k.
+
+Paper (seconds): L1 21.59/34.78/6.71/289.72, L2 13.48/3.68/6.09/45.33,
+L3 4.77/3.43/2.67/39.51.  Shape criteria: L3 has the fastest mean, the
+smallest spread, and the smallest maximum; L1 has the heaviest tail.
+"""
+
+from repro.bench import table4_runtime_stats
+
+
+def test_table4_runtime_stats(benchmark, show):
+    result = benchmark.pedantic(table4_runtime_stats, rounds=1, iterations=1)
+    show(result)
+    v = result.values
+    assert v["L3_mean"] < v["L2_mean"] < v["L1_mean"]
+    assert v["L3_std"] < v["L2_std"] < v["L1_std"]
+    assert v["L3_max"] < v["L2_max"] < v["L1_max"]
+    assert 3.0 < v["L3_mean"] < 7.0        # paper: 4.77
+    assert 10.0 < v["L2_mean"] < 17.0      # paper: 13.48
+    assert 17.0 < v["L1_mean"] < 27.0      # paper: 21.59

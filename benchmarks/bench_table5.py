@@ -1,0 +1,29 @@
+"""Table 5: overhead breakdown of L2/L3 context reuse (real engine).
+
+Paper (seconds): L2-Cold 1.004/15.435/0.403/5.469; L2-Hot 5.2e-4/1.2e-3/
+0.327/5.046; L3-Library 0.989/15.251/2.729/N-A; L3-Invoc 2.3e-4/2.8e-4/
+5.1e-4/3.079.  Absolute values differ (small model, local machine); the
+reproduced shape: cold pays transfer+unpack that hot skips; the library
+pays setup once; a warm L3 invocation's overheads are orders of
+magnitude below any task, and its exec time drops because model build
+is hoisted into the context.
+"""
+
+from repro.bench import table5_overhead_breakdown
+
+
+def test_table5_overhead_breakdown(benchmark, show):
+    result = benchmark.pedantic(table5_overhead_breakdown, rounds=1, iterations=1)
+    show(result)
+    v = result.values
+    cold, hot = v["L2 (Cold)"], v["L2 (Hot)"]
+    lib, invoc = v["L3 (Library)"], v["L3 (Invoc.)"]
+    # Cold pays worker-side unpack + transfer that hot does not.
+    assert cold["worker"] > 10 * max(hot["worker"], 1e-6)
+    assert cold["transfer"] > hot["transfer"]
+    # The library pays context setup once...
+    assert lib["invoc"] > 10 * invoc["invoc"]
+    # ...after which invocation overheads are tiny and exec is faster than
+    # task-mode exec (model build hoisted out of the invocation).
+    assert invoc["invoc"] < 0.01
+    assert invoc["exec"] < hot["exec"]

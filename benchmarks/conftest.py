@@ -1,0 +1,25 @@
+"""Shared fixtures for the benchmark harness.
+
+Each ``bench_*.py`` module regenerates one table or figure from the
+paper.  The underlying experiments live in :mod:`repro.bench.experiments`
+so they can also be invoked from examples and EXPERIMENTS.md tooling;
+the pytest-benchmark wrappers here time them and print the reproduced
+table after the run.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def show():
+    """Print a TableResult beneath the benchmark output."""
+
+    def _show(result) -> None:
+        print(f"\n=== {result.experiment} ===")
+        if result.paper_reference:
+            print(f"(paper: {result.paper_reference})")
+        print(result.text)
+
+    return _show

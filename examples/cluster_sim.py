@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""Reproduce the paper's evaluation figures on the cluster simulator.
+
+Regenerates (and prints) every simulator-backed table and figure:
+Figure 6 (execution times), Figure 7 (run-time histograms), Table 4
+(run-time statistics), Figure 8 (invocation-length sweep), Figure 9
+(worker sweep), and Figures 10/11 (library deployment & share value).
+
+Run:  python examples/cluster_sim.py [--quick]
+(--quick shrinks LNNI to 10k invocations; full scale takes ~30s.)
+"""
+
+import argparse
+
+from repro.bench import (
+    fig6_execution_times,
+    fig7_histograms,
+    fig8_invocation_length_sweep,
+    fig9_worker_sweep,
+    fig10_11_library_curves,
+    table4_runtime_stats,
+)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true")
+    args = parser.parse_args()
+    n = 10_000 if args.quick else 100_000
+
+    for result in (
+        fig6_execution_times(lnni_invocations=n),
+        table4_runtime_stats(n),
+        fig7_histograms(n),
+        fig8_invocation_length_sweep(),
+        fig9_worker_sweep(),
+        fig10_11_library_curves(n),
+    ):
+        print(f"\n=== {result.experiment} ===")
+        if result.paper_reference:
+            print(f"(paper: {result.paper_reference})")
+        print(result.text)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+#!/usr/bin/env python3
+"""Context distribution: the three regimes of Figure 3, planned and timed.
+
+Plans a 572 MB context broadcast (the paper's environment-tarball size)
+to a 150-worker fleet under each regime and evaluates arrival times with
+the fair-share fluid model — then repeats with half the fleet behind a
+slow inter-cluster link, where the cluster-aware plan wins.
+
+Run:  python examples/distribution_modes.py
+"""
+
+from repro.distribute import (
+    TransferMode,
+    plan_broadcast,
+    simulate_plan,
+)
+from repro.distribute.topology import Topology, uniform_topology
+
+
+def report(topology, label: str) -> None:
+    print(f"\n--- {label} ---")
+    size = int(572e6)  # the paper's LNNI environment tarball
+    for mode in TransferMode:
+        plan = plan_broadcast(topology, "env.tar.gz", size, mode, peer_cap=3)
+        result = simulate_plan(topology, plan)
+        peak = max(result.peak_concurrency.values())
+        print(
+            f"{mode.value:14s} makespan {result.makespan:7.2f}s | mean arrival "
+            f"{result.mean_arrival():7.2f}s | relay depth {plan.depth()} | "
+            f"peak concurrent sends/source {peak}"
+        )
+
+
+def main() -> None:
+    report(uniform_topology(150), "one cluster, 150 workers, 10 GbE")
+
+    mixed = uniform_topology(75)
+    for i in range(75):
+        mixed.add_worker(f"cloud-{i:04d}", cluster="cloud")
+    mixed.inter_cluster_bandwidth = 0.125e9  # 1 Gb/s uplink to the cloud
+    report(mixed, "two clusters (75 local + 75 cloud), 1 Gb/s uplink")
+
+
+if __name__ == "__main__":
+    main()

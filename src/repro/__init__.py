@@ -1,0 +1,21 @@
+"""repro: a reproduction of "Accelerating Function-Centric Applications by
+Discovering, Distributing, and Retaining Reusable Context in Workflow
+Systems" (Phung et al., HPDC '24).
+
+Layers (bottom to top):
+
+* :mod:`repro.serialize` / :mod:`repro.discover` / :mod:`repro.distribute`
+  — the discover & distribute mechanisms.
+* :mod:`repro.engine` — a real multi-process TaskVine-like execution
+  engine with persistent library processes (the retain mechanism).
+* :mod:`repro.sim` — a discrete-event simulator of the paper's
+  180-machine cluster for paper-scale experiments.
+* :mod:`repro.flow` — a miniature Parsl (dataflow futures) with a
+  Vine executor.
+* :mod:`repro.apps` — the two evaluation applications (LNNI, ExaMol).
+"""
+
+from repro.errors import ReproError
+
+__version__ = "1.0.0"
+__all__ = ["ReproError", "__version__"]

@@ -1,0 +1,11 @@
+"""The paper's two evaluation applications, rebuilt from scratch.
+
+* :mod:`repro.apps.lnni` — Large-Scale Neural Network Inference: a
+  NumPy residual CNN ("MiniResNet", standing in for ResNet50) classifying
+  synthetic images into 1000 classes; invocations run batches of
+  inferences against a context-resident model.
+* :mod:`repro.apps.examol` — molecular design by active learning: a
+  synthetic molecule space, a deterministic PM7-like ionization-potential
+  oracle, a from-scratch ridge/ensemble surrogate, and a Colmena-style
+  thinker steering simulate/train/infer apps through :mod:`repro.flow`.
+"""

@@ -1,0 +1,154 @@
+"""Surrogate models: ridge regression and a bagged ensemble (the
+scikit-learn substitute).
+
+The ExaMol loop needs two things from its ML component: point
+predictions for screening, and uncertainty for acquisition.  A ridge
+model on fingerprint features gives the former; a bagged ensemble of
+ridges gives the latter.  NumPy least squares only — no external ML
+stack.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.util.rng import seeded_rng
+
+
+class RidgeRegression:
+    """Linear ridge model: ``argmin_w ||Xw - y||² + alpha ||w||²``."""
+
+    def __init__(self, alpha: float = 1e-2):
+        if alpha < 0:
+            raise ReproError("alpha must be non-negative")
+        self.alpha = alpha
+        self.weights: np.ndarray | None = None
+        self.intercept: float = 0.0
+
+    def fit(self, features: np.ndarray, targets: np.ndarray) -> "RidgeRegression":
+        features = np.asarray(features, dtype=np.float64)
+        targets = np.asarray(targets, dtype=np.float64)
+        if features.ndim != 2 or targets.ndim != 1:
+            raise ReproError("expected 2-D features and 1-D targets")
+        if len(features) != len(targets):
+            raise ReproError("feature/target length mismatch")
+        if len(features) == 0:
+            raise ReproError("cannot fit on an empty dataset")
+        mean_y = targets.mean()
+        mean_x = features.mean(axis=0)
+        xc = features - mean_x
+        yc = targets - mean_y
+        gram = xc.T @ xc + self.alpha * np.eye(features.shape[1])
+        self.weights = np.linalg.solve(gram, xc.T @ yc)
+        self.intercept = float(mean_y - mean_x @ self.weights)
+        return self
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        if self.weights is None:
+            raise ReproError("model is not fitted")
+        features = np.asarray(features, dtype=np.float64)
+        return features @ self.weights + self.intercept
+
+    def score(self, features: np.ndarray, targets: np.ndarray) -> float:
+        """R² on a held-out set."""
+        targets = np.asarray(targets, dtype=np.float64)
+        pred = self.predict(features)
+        ss_res = float(((targets - pred) ** 2).sum())
+        ss_tot = float(((targets - targets.mean()) ** 2).sum())
+        if ss_tot == 0:
+            return 0.0 if ss_res > 0 else 1.0
+        return 1.0 - ss_res / ss_tot
+
+
+class EnsembleSurrogate:
+    """Bagged ridge ensemble with predictive mean and spread.
+
+    ``predict_with_uncertainty`` returns (mean, std) across members —
+    the acquisition signal for the thinker's upper-confidence selection.
+    """
+
+    def __init__(self, n_members: int = 8, alpha: float = 1e-2, seed: int | str = 0):
+        if n_members < 1:
+            raise ReproError("need at least one ensemble member")
+        self.n_members = n_members
+        self.alpha = alpha
+        self.seed = seed
+        self.members: list[RidgeRegression] = []
+
+    def fit(self, features: np.ndarray, targets: np.ndarray) -> "EnsembleSurrogate":
+        features = np.asarray(features, dtype=np.float64)
+        targets = np.asarray(targets, dtype=np.float64)
+        n = len(features)
+        if n == 0:
+            raise ReproError("cannot fit on an empty dataset")
+        self.members = []
+        for member_idx in range(self.n_members):
+            rng = seeded_rng("ensemble", self.seed, member_idx, n)
+            idx = rng.integers(0, n, size=n)  # bootstrap resample
+            model = RidgeRegression(alpha=self.alpha)
+            model.fit(features[idx], targets[idx])
+            self.members.append(model)
+        return self
+
+    @property
+    def fitted(self) -> bool:
+        return bool(self.members)
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        mean, _ = self.predict_with_uncertainty(features)
+        return mean
+
+    def predict_with_uncertainty(
+        self, features: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        if not self.members:
+            raise ReproError("ensemble is not fitted")
+        stacked = np.stack([m.predict(features) for m in self.members])
+        return stacked.mean(axis=0), stacked.std(axis=0)
+
+
+def train_surrogate(
+    dataset: Sequence[Tuple[int, float]],
+    pool_seed: int | str = 0,
+    n_members: int = 8,
+) -> EnsembleSurrogate:
+    """Remote-friendly training app: (mol_id, ip) pairs in, surrogate out."""
+    from repro.apps.examol.molecules import fingerprint, molecule_by_id
+
+    if not dataset:
+        raise ReproError("empty training set")
+    ids = [mol_id for mol_id, _ in dataset]
+    features = np.stack(
+        [fingerprint(molecule_by_id(mol_id, seed=pool_seed)) for mol_id in ids]
+    )
+    targets = np.asarray([ip for _, ip in dataset], dtype=np.float64)
+    return EnsembleSurrogate(n_members=n_members).fit(features, targets)
+
+
+def screen_candidates(
+    surrogate: EnsembleSurrogate,
+    candidate_ids: Sequence[int],
+    pool_seed: int | str = 0,
+    beta: float = 1.0,
+) -> list:
+    """Remote-friendly inference app: score candidates by LCB acquisition.
+
+    Ionization-potential *minimization* (the paper's single-objective
+    optimization): lower-confidence-bound = mean − beta·std; returns
+    (mol_id, acquisition, mean, std) sorted best-first.
+    """
+    from repro.apps.examol.molecules import fingerprint, molecule_by_id
+
+    features = np.stack(
+        [fingerprint(molecule_by_id(mol_id, seed=pool_seed)) for mol_id in candidate_ids]
+    )
+    mean, std = surrogate.predict_with_uncertainty(features)
+    acquisition = mean - beta * std
+    order = np.argsort(acquisition)
+    return [
+        (int(candidate_ids[i]), float(acquisition[i]), float(mean[i]), float(std[i]))
+        for i in order
+    ]

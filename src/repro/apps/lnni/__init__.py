@@ -1,0 +1,29 @@
+"""LNNI: Large-Scale Neural Network Inference (paper §4.1.1).
+
+The paper runs 10k-100k invocations of ResNet50 inference batches.  The
+stand-in here is :class:`~repro.apps.lnni.model.MiniResNet` — a genuine
+residual convolutional network implemented from scratch in NumPy (im2col
+convolutions, batch norm, skip connections, 1000-way classifier) — with
+the same invocation structure: the *context* loads weights from a data
+binding into memory once; each *invocation* classifies a batch of
+synthetic images.
+"""
+
+from repro.apps.lnni.model import MiniResNet, ModelConfig
+from repro.apps.lnni.data import synthetic_images
+from repro.apps.lnni.workload import (
+    lnni_context_setup,
+    lnni_infer,
+    run_lnni_engine,
+    save_pretrained,
+)
+
+__all__ = [
+    "MiniResNet",
+    "ModelConfig",
+    "synthetic_images",
+    "lnni_context_setup",
+    "lnni_infer",
+    "run_lnni_engine",
+    "save_pretrained",
+]

@@ -1,0 +1,41 @@
+"""Synthetic image generation for LNNI.
+
+Deterministic structured images: each image is a mixture of gaussian
+blobs plus noise, keyed by (seed, index) so any invocation can generate
+its own batch without shipping image data — matching the paper's setup
+where inference inputs are per-invocation arguments, not shared context.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.util.rng import seeded_rng
+
+
+def synthetic_images(
+    count: int,
+    *,
+    size: int = 32,
+    channels: int = 3,
+    seed: int | str = 0,
+) -> np.ndarray:
+    """Return ``count`` images shaped (count, channels, size, size) in [0, 1]."""
+    if count < 1:
+        raise ReproError("count must be positive")
+    rng = seeded_rng("lnni-images", seed, count, size)
+    yy, xx = np.mgrid[0:size, 0:size].astype(np.float32) / size
+    images = np.empty((count, channels, size, size), dtype=np.float32)
+    centers = rng.random((count, channels, 2)).astype(np.float32)
+    widths = (0.05 + rng.random((count, channels)) * 0.25).astype(np.float32)
+    noise = rng.standard_normal(images.shape).astype(np.float32) * 0.05
+    for i in range(count):
+        for c in range(channels):
+            cy, cx = centers[i, c]
+            blob = np.exp(
+                -(((yy - cy) ** 2 + (xx - cx) ** 2) / (2.0 * widths[i, c] ** 2))
+            )
+            images[i, c] = blob
+    np.clip(images + noise, 0.0, 1.0, out=images)
+    return images

@@ -1,0 +1,230 @@
+"""MiniResNet: a from-scratch NumPy residual CNN.
+
+Implements the essential ResNet structure — stem convolution, stacks of
+residual basic blocks with batch norm and ReLU, global average pooling,
+and a 1000-way linear classifier — at reduced width/depth so a batch of
+inferences costs milliseconds instead of GPU-seconds.  Convolutions use
+im2col + GEMM, the standard CPU formulation, so inference is real
+floating-point work with the same shape of memory/compute behaviour the
+paper's context-setup-versus-execute split cares about: building the
+model and loading weights dominates a cold start, while a warm model in
+memory makes per-batch inference cheap.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.util.rng import seeded_rng
+
+
+@dataclass(frozen=True)
+class ModelConfig:
+    """Architecture hyper-parameters.
+
+    The defaults give a ~0.5M-parameter network: big enough that weight
+    loading and model construction are measurable context-setup costs,
+    small enough for a single-CPU test cluster.
+    """
+
+    image_size: int = 32
+    in_channels: int = 3
+    stem_channels: int = 16
+    stage_channels: Tuple[int, ...] = (16, 32, 64)
+    blocks_per_stage: int = 2
+    num_classes: int = 1000
+    seed: int = 7
+
+    def validate(self) -> None:
+        if self.image_size < 8 or self.image_size % 4:
+            raise ReproError("image_size must be >= 8 and divisible by 4")
+        if not self.stage_channels:
+            raise ReproError("need at least one stage")
+
+
+def _im2col(x: np.ndarray, kernel: int, stride: int, pad: int) -> Tuple[np.ndarray, int, int]:
+    """Unfold (N, C, H, W) into (N*out_h*out_w, C*k*k) patches."""
+    n, c, h, w = x.shape
+    if pad:
+        x = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)), mode="constant")
+    out_h = (h + 2 * pad - kernel) // stride + 1
+    out_w = (w + 2 * pad - kernel) // stride + 1
+    shape = (n, c, out_h, out_w, kernel, kernel)
+    strides = (
+        x.strides[0],
+        x.strides[1],
+        x.strides[2] * stride,
+        x.strides[3] * stride,
+        x.strides[2],
+        x.strides[3],
+    )
+    patches = np.lib.stride_tricks.as_strided(x, shape=shape, strides=strides)
+    cols = patches.transpose(0, 2, 3, 1, 4, 5).reshape(n * out_h * out_w, c * kernel * kernel)
+    return cols, out_h, out_w
+
+
+class Conv2d:
+    """3×3 (or 1×1) convolution with He-initialized weights."""
+
+    def __init__(self, rng: np.random.Generator, cin: int, cout: int, kernel: int, stride: int):
+        self.kernel = kernel
+        self.stride = stride
+        self.pad = kernel // 2
+        scale = np.sqrt(2.0 / (cin * kernel * kernel))
+        self.weight = (rng.standard_normal((cout, cin, kernel, kernel)) * scale).astype(
+            np.float32
+        )
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        cout = self.weight.shape[0]
+        cols, out_h, out_w = _im2col(x, self.kernel, self.stride, self.pad)
+        flat_w = self.weight.reshape(cout, -1)
+        out = cols @ flat_w.T
+        n = x.shape[0]
+        return out.reshape(n, out_h, out_w, cout).transpose(0, 3, 1, 2)
+
+    def params(self) -> Dict[str, np.ndarray]:
+        return {"weight": self.weight}
+
+
+class BatchNorm:
+    """Inference-mode batch norm with frozen (pretrained) statistics."""
+
+    def __init__(self, rng: np.random.Generator, channels: int):
+        self.gamma = np.ones(channels, dtype=np.float32)
+        self.beta = np.zeros(channels, dtype=np.float32)
+        self.mean = (rng.standard_normal(channels) * 0.05).astype(np.float32)
+        self.var = (1.0 + rng.random(channels) * 0.1).astype(np.float32)
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        shape = (1, -1, 1, 1)
+        inv = (self.gamma / np.sqrt(self.var + 1e-5)).reshape(shape)
+        shift = (self.beta - self.mean * self.gamma / np.sqrt(self.var + 1e-5)).reshape(shape)
+        return x * inv + shift
+
+    def params(self) -> Dict[str, np.ndarray]:
+        return {
+            "gamma": self.gamma,
+            "beta": self.beta,
+            "mean": self.mean,
+            "var": self.var,
+        }
+
+
+class BasicBlock:
+    """The ResNet basic block: conv-bn-relu-conv-bn plus the skip path."""
+
+    def __init__(self, rng: np.random.Generator, cin: int, cout: int, stride: int):
+        self.conv1 = Conv2d(rng, cin, cout, 3, stride)
+        self.bn1 = BatchNorm(rng, cout)
+        self.conv2 = Conv2d(rng, cout, cout, 3, 1)
+        self.bn2 = BatchNorm(rng, cout)
+        self.downsample = None
+        if stride != 1 or cin != cout:
+            self.downsample = Conv2d(rng, cin, cout, 1, stride)
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        identity = x if self.downsample is None else self.downsample(x)
+        out = np.maximum(self.bn1(self.conv1(x)), 0.0)
+        out = self.bn2(self.conv2(out))
+        return np.maximum(out + identity, 0.0)
+
+    def layers(self) -> List[Tuple[str, object]]:
+        named: List[Tuple[str, object]] = [
+            ("conv1", self.conv1),
+            ("bn1", self.bn1),
+            ("conv2", self.conv2),
+            ("bn2", self.bn2),
+        ]
+        if self.downsample is not None:
+            named.append(("downsample", self.downsample))
+        return named
+
+
+class MiniResNet:
+    """The full network.  Construction (with a fixed seed) is the
+    "pretrained model": deterministic weights stand in for trained ones,
+    preserving the load-and-build cost structure without a training run.
+    """
+
+    def __init__(self, config: ModelConfig | None = None):
+        self.config = config or ModelConfig()
+        self.config.validate()
+        rng = seeded_rng("miniresnet", self.config.seed)
+        cfg = self.config
+        self.stem = Conv2d(rng, cfg.in_channels, cfg.stem_channels, 3, 1)
+        self.stem_bn = BatchNorm(rng, cfg.stem_channels)
+        self.blocks: List[BasicBlock] = []
+        cin = cfg.stem_channels
+        for stage_idx, cout in enumerate(cfg.stage_channels):
+            for block_idx in range(cfg.blocks_per_stage):
+                stride = 2 if (stage_idx > 0 and block_idx == 0) else 1
+                self.blocks.append(BasicBlock(rng, cin, cout, stride))
+                cin = cout
+        scale = np.sqrt(1.0 / cin)
+        self.fc_weight = (rng.standard_normal((cin, cfg.num_classes)) * scale).astype(
+            np.float32
+        )
+        self.fc_bias = np.zeros(cfg.num_classes, dtype=np.float32)
+
+    # ------------------------------------------------------------- inference
+    def forward(self, images: np.ndarray) -> np.ndarray:
+        """Logits for a batch of (N, C, H, W) images."""
+        if images.ndim != 4 or images.shape[1] != self.config.in_channels:
+            raise ReproError(
+                f"expected (N, {self.config.in_channels}, H, W), got {images.shape}"
+            )
+        x = images.astype(np.float32, copy=False)
+        x = np.maximum(self.stem_bn(self.stem(x)), 0.0)
+        for block in self.blocks:
+            x = block(x)
+        pooled = x.mean(axis=(2, 3))
+        return pooled @ self.fc_weight + self.fc_bias
+
+    def classify(self, images: np.ndarray) -> np.ndarray:
+        """Predicted class ids (the ResNet50 top-1 analog)."""
+        return np.argmax(self.forward(images), axis=1)
+
+    # -------------------------------------------------------- (de)serialization
+    def _named_params(self) -> Dict[str, np.ndarray]:
+        params: Dict[str, np.ndarray] = {}
+        for name, arr in self.stem.params().items():
+            params[f"stem.{name}"] = arr
+        for name, arr in self.stem_bn.params().items():
+            params[f"stem_bn.{name}"] = arr
+        for i, block in enumerate(self.blocks):
+            for lname, layer in block.layers():
+                for pname, arr in layer.params().items():
+                    params[f"block{i}.{lname}.{pname}"] = arr
+        params["fc.weight"] = self.fc_weight
+        params["fc.bias"] = self.fc_bias
+        return params
+
+    def num_parameters(self) -> int:
+        return sum(int(np.prod(a.shape)) for a in self._named_params().values())
+
+    def save_weights(self) -> bytes:
+        """Serialize weights to an .npz byte string (the shippable artifact)."""
+        buf = io.BytesIO()
+        np.savez(buf, **self._named_params())
+        return buf.getvalue()
+
+    def load_weights(self, blob: bytes) -> None:
+        """Load weights saved by :meth:`save_weights` (the context-setup cost)."""
+        with np.load(io.BytesIO(blob)) as data:
+            params = self._named_params()
+            missing = set(params) - set(data.files)
+            if missing:
+                raise ReproError(f"weight archive missing {sorted(missing)[:3]}...")
+            for name, arr in params.items():
+                loaded = data[name]
+                if loaded.shape != arr.shape:
+                    raise ReproError(
+                        f"shape mismatch for {name}: {loaded.shape} vs {arr.shape}"
+                    )
+                arr[...] = loaded

@@ -1,0 +1,42 @@
+"""Plain-text table rendering for benchmark output."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Sequence
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[Any]], title: str = ""
+) -> str:
+    """Render an aligned ASCII table."""
+    str_rows = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+@dataclass
+class TableResult:
+    """One regenerated table/figure: printable text plus raw values."""
+
+    experiment: str
+    text: str
+    values: Dict[str, Any] = field(default_factory=dict)
+    paper_reference: str = ""
+
+    def show(self) -> None:  # pragma: no cover - console convenience
+        print(f"\n=== {self.experiment} ===")
+        if self.paper_reference:
+            print(f"(paper: {self.paper_reference})")
+        print(self.text)

@@ -1,0 +1,36 @@
+"""The *discover* mechanism (paper §2.2.1 / §3.2).
+
+Discovery assembles the four elements of a function context:
+
+* **function code** — captured by :mod:`repro.serialize.source`;
+* **software dependencies** — inferred by the AST import scanner
+  (:mod:`repro.discover.imports`) and packed into a portable environment
+  tarball (:mod:`repro.discover.packaging`), our Poncho/conda-pack analog;
+* **input data** — explicit, content-addressed data bindings
+  (:mod:`repro.discover.data`);
+* **environment setup** — a user-supplied setup callable registered with
+  the context and executed once per library instance.
+
+The result is a :class:`~repro.discover.context.FunctionContext`, the unit
+that the *distribute* and *retain* mechanisms ship and cache.
+"""
+
+from repro.discover.context import ContextElement, FunctionContext, discover_context
+from repro.discover.imports import scan_imports, scan_imports_source
+from repro.discover.environment import EnvironmentSpec, resolve_environment
+from repro.discover.packaging import pack_environment, unpack_environment
+from repro.discover.data import DataBinding, declare_data
+
+__all__ = [
+    "FunctionContext",
+    "ContextElement",
+    "discover_context",
+    "scan_imports",
+    "scan_imports_source",
+    "EnvironmentSpec",
+    "resolve_environment",
+    "pack_environment",
+    "unpack_environment",
+    "DataBinding",
+    "declare_data",
+]

@@ -1,0 +1,149 @@
+"""The :class:`FunctionContext` — the unit that is discovered, distributed,
+and retained.
+
+A context bundles the four elements of §2.2.1: function code, software
+dependencies, input data, and an environment-setup callable.  Its identity
+is the Merkle root of its elements' hashes, so two libraries created from
+the same functions/data deduplicate to one cached context on a worker.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Sequence
+
+from repro.discover.data import DataBinding
+from repro.discover.environment import EnvironmentSpec, resolve_environment
+from repro.discover.imports import union_imports
+from repro.errors import DiscoveryError
+from repro.serialize.source import FunctionCode, capture_function
+from repro.util.hashing import merkle_root
+
+
+@dataclass(frozen=True)
+class ContextElement:
+    """A (kind, name, hash, size) record of one context constituent.
+
+    Useful for introspection and for the simulator, which costs transfers
+    by element size rather than moving real bytes.
+    """
+
+    kind: str  # "code" | "environment" | "data" | "setup"
+    name: str
+    hash: str
+    size: int
+
+
+@dataclass
+class FunctionContext:
+    """A discovered, reusable function context.
+
+    Attributes
+    ----------
+    name:
+        Library name the context will be installed under.
+    functions:
+        Captured code for each callable invocable in this context.
+    environment:
+        Resolved software-dependency specification.
+    data:
+        Shareable input-data bindings.
+    setup:
+        Captured code of the environment-setup function (or ``None``);
+        its args are serialized with the context.
+    """
+
+    name: str
+    functions: Dict[str, FunctionCode] = field(default_factory=dict)
+    environment: EnvironmentSpec = field(default_factory=EnvironmentSpec)
+    data: List[DataBinding] = field(default_factory=list)
+    setup: FunctionCode | None = None
+    setup_args: tuple = ()
+
+    def add_function(self, fn: Callable[..., Any]) -> FunctionCode:
+        code = capture_function(fn)
+        if code.name in self.functions and self.functions[code.name].hash != code.hash:
+            raise DiscoveryError(
+                f"context {self.name!r} already has a different function named {code.name!r}"
+            )
+        self.functions[code.name] = code
+        return code
+
+    def add_data(self, binding: DataBinding) -> None:
+        for existing in self.data:
+            if existing.remote_name == binding.remote_name:
+                if existing.content_hash == binding.content_hash:
+                    return  # idempotent re-declaration
+                raise DiscoveryError(
+                    f"context {self.name!r} already binds {binding.remote_name!r} "
+                    "to different contents"
+                )
+        self.data.append(binding)
+
+    def elements(self) -> List[ContextElement]:
+        out: List[ContextElement] = []
+        for fname in sorted(self.functions):
+            code = self.functions[fname]
+            out.append(ContextElement("code", fname, code.hash, len(code.payload)))
+        out.append(
+            ContextElement(
+                "environment",
+                "environment",
+                self.environment.hash,
+                sum(len(m.relative_path) for m in self.environment.modules),
+            )
+        )
+        for binding in self.data:
+            out.append(ContextElement("data", binding.remote_name, binding.content_hash, binding.size))
+        if self.setup is not None:
+            out.append(ContextElement("setup", self.setup.name, self.setup.hash, len(self.setup.payload)))
+        return out
+
+    @property
+    def hash(self) -> str:
+        """Merkle identity over all elements (order-independent by sorting)."""
+        return merkle_root(sorted(e.hash for e in self.elements()))
+
+    def function_names(self) -> List[str]:
+        return sorted(self.functions)
+
+
+def discover_context(
+    name: str,
+    functions: Sequence[Callable[..., Any]],
+    *,
+    setup: Callable[..., Any] | None = None,
+    setup_args: Iterable[Any] = (),
+    data: Iterable[DataBinding] = (),
+    extra_imports: Iterable[str] = (),
+    scan_dependencies: bool = True,
+) -> FunctionContext:
+    """Run the full discovery pipeline for a group of functions.
+
+    Mirrors ``Manager.create_library_from_functions``: capture each
+    function's code, scan the union of their imports, resolve those into
+    an environment, and attach data bindings and the setup function.
+
+    ``scan_dependencies=False`` skips AST scanning for callers that fully
+    specify dependencies via ``extra_imports`` (the paper's "user might
+    directly provide a specification" route).
+    """
+    if not functions:
+        raise DiscoveryError("a context needs at least one function")
+    ctx = FunctionContext(name=name)
+    for fn in functions:
+        ctx.add_function(fn)
+    imports = set(extra_imports)
+    if scan_dependencies:
+        imports |= union_imports(functions)
+        if setup is not None:
+            imports |= union_imports([setup])
+    # Never ship this library itself: workers install it from source.
+    imports.discard("repro")
+    ctx.environment = resolve_environment(imports)
+    for binding in data:
+        ctx.add_data(binding)
+    if setup is not None:
+        ctx.setup = capture_function(setup)
+        ctx.setup_args = tuple(setup_args)
+    return ctx

@@ -1,0 +1,95 @@
+"""Explicit input-data bindings (paper §2.2.1 "Input data").
+
+"Special care is needed to prevent shareable data to be unnecessarily
+sent along with every invocation.  This can be achieved by having
+explicit data-to-invocation and data-to-worker bindings."
+
+A :class:`DataBinding` names a shareable input by the hash of its
+contents, records whether it is cacheable and peer-transferable, and is
+attached to a function context so every invocation of that function on a
+worker shares one local copy.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from repro.errors import DiscoveryError
+from repro.util.hashing import hash_bytes, hash_file
+
+
+@dataclass(frozen=True)
+class DataBinding:
+    """One shareable input bound to a context (data-to-invocation binding).
+
+    ``remote_name`` is the name under which the file appears in a library
+    sandbox (and by which setup code opens it).  ``cache`` pins it in the
+    worker cache across invocations; ``peer_transfer`` permits workers to
+    serve it to each other (Figure 3b).
+    """
+
+    remote_name: str
+    content_hash: str
+    size: int
+    source_path: str | None = None          # file-backed bindings
+    inline_data: bytes | None = None        # small literal payloads
+    cache: bool = True
+    peer_transfer: bool = True
+
+    def __post_init__(self) -> None:
+        if (self.source_path is None) == (self.inline_data is None):
+            raise DiscoveryError(
+                "a DataBinding needs exactly one of source_path or inline_data"
+            )
+        if not self.remote_name or "/" in self.remote_name:
+            raise DiscoveryError(
+                f"remote_name must be a bare file name, got {self.remote_name!r}"
+            )
+
+    def read(self) -> bytes:
+        """Materialize the binding's bytes (used by the manager when sending)."""
+        if self.inline_data is not None:
+            return self.inline_data
+        assert self.source_path is not None
+        with open(self.source_path, "rb") as fh:
+            return fh.read()
+
+
+def declare_data(
+    source: str | bytes | os.PathLike[str],
+    *,
+    remote_name: str | None = None,
+    cache: bool = True,
+    peer_transfer: bool = True,
+) -> DataBinding:
+    """Declare a shareable input from a path or literal bytes.
+
+    File-backed declarations are hashed immediately: TaskVine requires
+    transferable data to be "uniquely identified and read-only", so the
+    hash taken at declaration time is the identity for the whole run, and
+    a file mutated afterwards will be caught by the integrity check on
+    first transfer.
+    """
+    if isinstance(source, bytes):
+        if remote_name is None:
+            raise DiscoveryError("inline data requires an explicit remote_name")
+        return DataBinding(
+            remote_name=remote_name,
+            content_hash=hash_bytes(source),
+            size=len(source),
+            inline_data=source,
+            cache=cache,
+            peer_transfer=peer_transfer,
+        )
+    path = os.fspath(source)
+    if not os.path.isfile(path):
+        raise DiscoveryError(f"declared data file does not exist: {path}")
+    return DataBinding(
+        remote_name=remote_name or os.path.basename(path),
+        content_hash=hash_file(path),
+        size=os.stat(path).st_size,
+        source_path=path,
+        cache=cache,
+        peer_transfer=peer_transfer,
+    )

@@ -1,0 +1,114 @@
+"""Environment specification and resolution (conda-environment analog).
+
+The paper builds a Conda environment from the scanned imports and packs
+it with conda-pack.  Offline and from scratch, we model an *environment*
+as a set of importable Python modules resolved to their source files on
+the manager's interpreter; :mod:`repro.discover.packaging` then packs
+those files into a tarball that a worker can unpack onto ``sys.path``.
+
+Compiled extension modules (NumPy et al.) cannot be shipped as source;
+they are recorded as *assumed-present* requirements, equivalent to the
+paper's option of letting "workers install dependencies themselves".
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import os
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Tuple
+
+from repro.errors import DiscoveryError
+from repro.util.hashing import content_hash
+
+
+@dataclass(frozen=True)
+class ModuleFile:
+    """One module source file included in an environment package."""
+
+    module: str          # dotted module name
+    relative_path: str   # path inside the package (posix style)
+    source_path: str     # absolute path on the manager machine
+
+
+@dataclass
+class EnvironmentSpec:
+    """A resolved environment: shippable sources plus assumed requirements.
+
+    ``modules`` is sorted for deterministic packaging (so the package hash
+    is stable across runs — required for cache deduplication).
+    """
+
+    modules: List[ModuleFile] = field(default_factory=list)
+    assumed_present: List[str] = field(default_factory=list)
+
+    @property
+    def hash(self) -> str:
+        parts: List[str] = []
+        for m in self.modules:
+            parts.append(m.module)
+            parts.append(m.relative_path)
+        parts.extend(self.assumed_present)
+        return content_hash(*parts)
+
+    def module_names(self) -> List[str]:
+        return [m.module for m in self.modules]
+
+
+def _module_origin(name: str) -> Tuple[str | None, bool]:
+    """(origin path or None, is_package) for an importable module."""
+    try:
+        spec = importlib.util.find_spec(name)
+    except (ImportError, ValueError, ModuleNotFoundError):
+        return None, False
+    if spec is None:
+        return None, False
+    origin = spec.origin
+    is_pkg = bool(spec.submodule_search_locations)
+    return origin, is_pkg
+
+
+def _walk_package(root_dir: str, package: str) -> Iterable[Tuple[str, str, str]]:
+    """Yield (module, relative_path, source_path) for all .py files under a package."""
+    for dirpath, dirnames, filenames in os.walk(root_dir):
+        dirnames.sort()
+        rel_dir = os.path.relpath(dirpath, os.path.dirname(root_dir))
+        for fname in sorted(filenames):
+            if not fname.endswith(".py"):
+                continue
+            rel = os.path.join(rel_dir, fname).replace(os.sep, "/")
+            mod_parts = rel[: -len(".py")].split("/")
+            if mod_parts[-1] == "__init__":
+                mod_parts = mod_parts[:-1]
+            yield ".".join(mod_parts), rel, os.path.join(dirpath, fname)
+
+
+def resolve_environment(module_names: Iterable[str]) -> EnvironmentSpec:
+    """Resolve top-level module names into an :class:`EnvironmentSpec`.
+
+    Pure-Python modules/packages are resolved to the full set of their
+    source files.  Extension modules and namespace packages become
+    ``assumed_present`` entries.  Unimportable names raise
+    :class:`DiscoveryError` — the same failure a conda solve would report.
+    """
+    spec = EnvironmentSpec()
+    seen_files: Dict[str, ModuleFile] = {}
+    for name in sorted(set(module_names)):
+        origin, is_pkg = _module_origin(name)
+        if origin is None:
+            raise DiscoveryError(f"dependency {name!r} is not importable on the manager")
+        if origin in ("built-in", "frozen") or not origin.endswith(".py"):
+            spec.assumed_present.append(name)
+            continue
+        if is_pkg:
+            entries = _walk_package(os.path.dirname(origin), name)
+        else:
+            entries = [(name, f"{name}.py", origin)]
+        for module, rel, src in entries:
+            if rel not in seen_files:
+                mf = ModuleFile(module=module, relative_path=rel, source_path=src)
+                seen_files[rel] = mf
+                spec.modules.append(mf)
+    spec.modules.sort(key=lambda m: m.relative_path)
+    spec.assumed_present.sort()
+    return spec

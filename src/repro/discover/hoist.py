@@ -1,0 +1,236 @@
+"""Automatic context hoisting (the paper's future-work direction).
+
+§2.1.3 notes that context setup "is very similar to the concept of code
+hoisting in compiler literature" and §6 names automatic discovery of
+contexts as future work.  This module implements that extension: given a
+monolithic function, split it into
+
+* a **setup function** containing the leading statements that do not
+  depend (transitively) on the function's parameters — imports, file
+  loads with constant arguments, model construction; and
+* a **residual invocation function** with the original signature whose
+  body consumes the hoisted names as context globals.
+
+The split is conservative: hoisting stops at the first statement that
+reads a parameter-tainted name, contains control flow whose condition is
+tainted, or would change observable behaviour (``return``/``yield``).
+Determinism of the hoisted prefix is the user's responsibility, exactly
+as it is for a hand-written setup function.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Callable, List, Set
+
+from repro.errors import DiscoveryError
+from repro.serialize.source import extract_source
+
+
+@dataclass
+class HoistResult:
+    """Outcome of hoisting one function.
+
+    ``setup_source`` defines ``<name>_context_setup()`` which binds every
+    hoisted name via ``global``; ``invoke_source`` redefines the original
+    function consuming those globals.  ``hoisted_names`` lists the
+    context variables that now live in the shared namespace.
+    """
+
+    function_name: str
+    setup_source: str
+    invoke_source: str
+    hoisted_names: List[str] = field(default_factory=list)
+    hoisted_statements: int = 0
+
+    @property
+    def setup_name(self) -> str:
+        return f"{self.function_name}_context_setup"
+
+    def materialize(self) -> tuple[Callable, Callable]:
+        """Execute both definitions in one namespace; return (setup, invoke).
+
+        Calling the returned setup then the invoke reproduces the original
+        function's behaviour with the setup cost paid once.
+        """
+        ns: dict = {}
+        exec(compile(self.setup_source, "<hoist-setup>", "exec"), ns)
+        exec(compile(self.invoke_source, "<hoist-invoke>", "exec"), ns)
+        return ns[self.setup_name], ns[self.function_name]
+
+
+def _names_loaded(node: ast.AST) -> Set[str]:
+    return {
+        n.id for n in ast.walk(node) if isinstance(n, ast.Name) and isinstance(n.ctx, ast.Load)
+    }
+
+
+def _names_stored(node: ast.AST) -> Set[str]:
+    found: Set[str] = set()
+    for n in ast.walk(node):
+        if isinstance(n, ast.Name) and isinstance(n.ctx, (ast.Store, ast.Del)):
+            found.add(n.id)
+        elif isinstance(n, ast.Import):
+            for alias in n.names:
+                found.add((alias.asname or alias.name).split(".")[0])
+        elif isinstance(n, ast.ImportFrom):
+            for alias in n.names:
+                found.add(alias.asname or alias.name)
+        elif isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            found.add(n.name)
+    return found
+
+
+def _is_hoist_barrier(stmt: ast.stmt) -> bool:
+    """Statements that must never move into setup regardless of taint."""
+    for node in ast.walk(stmt):
+        if isinstance(
+            node, (ast.Return, ast.Yield, ast.YieldFrom, ast.Raise, ast.Global, ast.Nonlocal)
+        ):
+            return True
+    return False
+
+
+def hoist_context(fn: Callable) -> HoistResult:
+    """Split ``fn`` into a context-setup function and a residual function.
+
+    Raises :class:`DiscoveryError` when ``fn`` has no extractable source.
+    A function with nothing hoistable returns a result with an empty
+    setup body and ``hoisted_statements == 0``.
+    """
+    source = extract_source(fn)
+    tree = ast.parse(source)
+    func = tree.body[0]
+    if not isinstance(func, ast.FunctionDef):
+        raise DiscoveryError("hoisting requires a plain function definition")
+
+    args = func.args
+    tainted: Set[str] = set()
+    for arg in list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs):
+        tainted.add(arg.arg)
+    if args.vararg:
+        tainted.add(args.vararg.arg)
+    if args.kwarg:
+        tainted.add(args.kwarg.arg)
+
+    hoisted: List[ast.stmt] = []
+    residual: List[ast.stmt] = []
+    frozen = False  # once a statement stays, all later statements stay
+    for stmt in func.body:
+        if frozen:
+            residual.append(stmt)
+            continue
+        if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant):
+            hoisted.append(stmt)  # docstring travels with the setup
+            continue
+        reads = _names_loaded(stmt)
+        if _is_hoist_barrier(stmt) or (reads & tainted):
+            frozen = True
+            residual.append(stmt)
+            # Anything a kept statement defines could later be shadowed, so
+            # taint its definitions too (they belong to the invocation).
+            tainted |= _names_stored(stmt)
+        else:
+            hoisted.append(stmt)
+
+    context_names = sorted(
+        name
+        for stmt in hoisted
+        for name in _names_stored(stmt)
+    )
+    # Drop duplicates while preserving the sort.
+    seen: Set[str] = set()
+    context_names = [n for n in context_names if not (n in seen or seen.add(n))]
+
+    setup_name = f"{func.name}_context_setup"
+    setup_body: List[ast.stmt] = []
+    if context_names:
+        setup_body.append(ast.Global(names=list(context_names)))
+    setup_body.extend(hoisted)
+    if not setup_body:
+        setup_body.append(ast.Pass())
+    setup_def = ast.FunctionDef(
+        name=setup_name,
+        args=ast.arguments(
+            posonlyargs=[], args=[], kwonlyargs=[], kw_defaults=[], defaults=[]
+        ),
+        body=setup_body,
+        decorator_list=[],
+    )
+
+    residual_body: List[ast.stmt] = []
+    if not residual:
+        residual_body.append(ast.Pass())
+    else:
+        residual_body.extend(residual)
+    residual_def = ast.FunctionDef(
+        name=func.name,
+        args=func.args,
+        body=residual_body,
+        decorator_list=[],
+        returns=func.returns,
+    )
+
+    setup_module = ast.Module(body=[setup_def], type_ignores=[])
+    invoke_module = ast.Module(body=[residual_def], type_ignores=[])
+    ast.fix_missing_locations(setup_module)
+    ast.fix_missing_locations(invoke_module)
+
+    return HoistResult(
+        function_name=func.name,
+        setup_source=ast.unparse(setup_module) + "\n",
+        invoke_source=ast.unparse(invoke_module) + "\n",
+        hoisted_names=context_names,
+        hoisted_statements=len([s for s in hoisted if not _is_docstring(s)]),
+    )
+
+
+def _is_docstring(stmt: ast.stmt) -> bool:
+    return isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant)
+
+
+def build_hoisted_context(library_name: str, fn: Callable, **discover_kwargs):
+    """Hoist ``fn`` and package the result as a
+    :class:`~repro.discover.context.FunctionContext` ready for
+    ``LibraryTask`` installation.
+
+    The residual function keeps ``fn``'s name, so invocations are
+    submitted exactly as they would be for the unhoisted function::
+
+        ctx = build_hoisted_context("lib", process)
+        manager.install_library(LibraryTask(ctx))
+        manager.submit(FunctionCall("lib", "process", x))
+
+    Extra ``discover_kwargs`` (``data``, ``extra_imports``) pass through
+    to the context.  Dependency scanning runs against the *original*
+    function so imports split across setup/residual are all captured.
+    """
+    from repro.discover.context import FunctionContext
+    from repro.discover.environment import resolve_environment
+    from repro.discover.imports import scan_imports_source
+    from repro.serialize.source import FunctionCode
+
+    result = hoist_context(fn)
+    ctx = FunctionContext(name=library_name)
+    ctx.functions[result.function_name] = FunctionCode(
+        name=result.function_name,
+        kind="source",
+        payload=result.invoke_source.encode("utf-8"),
+    )
+    ctx.setup = FunctionCode(
+        name=result.setup_name,
+        kind="source",
+        payload=result.setup_source.encode("utf-8"),
+    )
+    ctx.setup_args = ()
+    imports = set(discover_kwargs.pop("extra_imports", ()))
+    if discover_kwargs.pop("scan_dependencies", False):
+        imports |= scan_imports_source(extract_source(fn))
+    imports.discard("repro")
+    ctx.environment = resolve_environment(imports)
+    for binding in discover_kwargs.pop("data", ()):
+        ctx.add_data(binding)
+    if discover_kwargs:
+        raise DiscoveryError(f"unknown arguments: {sorted(discover_kwargs)}")
+    return ctx

@@ -1,0 +1,86 @@
+"""AST-based import scanning (the Poncho analog).
+
+The paper: "TaskVine gives them to Poncho to scan their ASTs for imported
+modules" (§3.2).  We do the same: parse the function source, walk the AST,
+and collect top-level module names from ``import`` and ``from .. import``
+statements anywhere in the body (imports inside functions are a standard
+idiom in remote-executed code, so nested statements count too).
+
+Standard-library modules are filtered out by default since every worker's
+interpreter already provides them — only third-party dependencies need to
+travel in the environment package.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from typing import Callable, Iterable, Set
+
+from repro.errors import DiscoveryError
+from repro.serialize.source import _referenced_globals, extract_source
+
+# Fallback for interpreters without sys.stdlib_module_names (pre-3.10).
+_STDLIB: frozenset[str] = frozenset(getattr(sys, "stdlib_module_names", ()))
+
+
+def _top_level(module: str) -> str:
+    return module.split(".", 1)[0]
+
+
+def scan_imports_source(source: str, *, include_stdlib: bool = False) -> Set[str]:
+    """Return top-level module names imported anywhere in ``source``.
+
+    Relative imports (``from . import x``) are skipped: they resolve
+    against the shipped package itself, not an external dependency.
+    """
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        raise DiscoveryError(f"cannot scan imports, source does not parse: {exc}") from exc
+    found: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                found.add(_top_level(alias.name))
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:  # relative import
+                continue
+            if node.module:
+                found.add(_top_level(node.module))
+    if not include_stdlib:
+        found = {m for m in found if m not in _STDLIB}
+    return found
+
+
+def scan_imports(fn: Callable[..., object], *, include_stdlib: bool = False) -> Set[str]:
+    """Scan the imports of a live function object via its source.
+
+    Functions without reachable source (lambdas, ``exec`` products) yield
+    an empty set — their dependencies must then be declared explicitly,
+    which matches the paper's stance that discovery assists rather than
+    replaces user specification.
+    """
+    try:
+        source = extract_source(fn)
+    except DiscoveryError:
+        return set()
+    found = scan_imports_source(source, include_stdlib=include_stdlib)
+    # Global names referenced but not imported inside the body may still be
+    # modules imported at module scope; resolve them through __globals__.
+    for name in _referenced_globals(source):
+        value = getattr(fn, "__globals__", {}).get(name)
+        module_name = getattr(value, "__name__", None)
+        if value is not None and type(value).__name__ == "module" and module_name:
+            top = _top_level(module_name)
+            if include_stdlib or top not in _STDLIB:
+                found.add(top)
+    return found
+
+
+def union_imports(fns: Iterable[Callable[..., object]]) -> Set[str]:
+    """Combined dependency set for a group of functions sharing a library."""
+    deps: Set[str] = set()
+    for fn in fns:
+        deps |= scan_imports(fn)
+    return deps

@@ -1,0 +1,32 @@
+"""The *distribute* mechanism (paper §2.2.2 / §3.3, Figure 3).
+
+Given a context discovered on the manager, the workflow system must
+broadcast its files to all connected workers as fast as the network
+allows.  Three regimes exist depending on worker-to-worker connectivity:
+
+* :data:`TransferMode.MANAGER_ONLY` — Figure 3a, the manager sends every
+  copy itself (strict network policy clusters);
+* :data:`TransferMode.PEER` — Figure 3b, workers relay along a spanning
+  tree, each capped at ``N`` concurrent outbound transfers;
+* :data:`TransferMode.CLUSTER_AWARE` — Figure 3c, sequential between
+  clusters, spanning tree within each.
+
+:func:`plan_broadcast` produces an explicit, executable
+:class:`TransferPlan`; :func:`repro.distribute.broadcast.broadcast_makespan`
+evaluates a plan under a bandwidth model (used by the simulator and the
+ablation benchmarks).
+"""
+
+from repro.distribute.topology import Topology, TransferMode
+from repro.distribute.plan import Transfer, TransferPlan, plan_broadcast
+from repro.distribute.broadcast import broadcast_makespan, simulate_plan
+
+__all__ = [
+    "Topology",
+    "TransferMode",
+    "Transfer",
+    "TransferPlan",
+    "plan_broadcast",
+    "broadcast_makespan",
+    "simulate_plan",
+]

@@ -1,0 +1,169 @@
+"""Broadcast transfer planning.
+
+A :class:`TransferPlan` is an explicit DAG of point-to-point transfers:
+each :class:`Transfer` names a source that must already hold the object
+(the manager, or a worker that is the destination of an earlier transfer).
+Plans are *schedules with dependencies*, not timings — timing under a
+bandwidth model is the job of :mod:`repro.distribute.broadcast`.
+
+The peer plan builds a near-balanced spanning tree subject to the paper's
+cap: "Each worker is capped to N transfers of input files at any given
+time to avoid a sink in the spanning tree."  With cap ``N`` the number of
+object holders grows by roughly ``×(N+1)`` per round, so depth is
+``O(log_{N+1} W)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.distribute.topology import Topology, TransferMode
+from repro.errors import DistributionError
+
+
+@dataclass(frozen=True)
+class Transfer:
+    """One point-to-point object movement."""
+
+    source: str
+    dest: str
+    object_name: str
+    size: int
+
+
+@dataclass
+class TransferPlan:
+    """An ordered list of transfers realizing a broadcast.
+
+    ``transfers`` is topologically ordered: every source (other than the
+    manager) appears as an earlier destination.  :meth:`validate` checks
+    that invariant plus full coverage of the requested destinations.
+    ``peer_cap`` carries the per-source concurrent-transfer limit for the
+    evaluator to enforce (None = unlimited, manager-only plans).
+    """
+
+    object_name: str
+    size: int
+    mode: TransferMode
+    transfers: List[Transfer] = field(default_factory=list)
+    peer_cap: int | None = None
+
+    def sources_used(self) -> Dict[str, int]:
+        """Outbound transfer count per source endpoint."""
+        out: Dict[str, int] = {}
+        for t in self.transfers:
+            out[t.source] = out.get(t.source, 0) + 1
+        return out
+
+    def depth(self) -> int:
+        """Longest relay chain manager→…→worker (1 = direct from manager)."""
+        level: Dict[str, int] = {"manager": 0}
+        deepest = 0
+        for t in self.transfers:
+            if t.source not in level:
+                raise DistributionError(f"transfer from {t.source!r} before it holds the object")
+            level[t.dest] = level[t.source] + 1
+            deepest = max(deepest, level[t.dest])
+        return deepest
+
+    def validate(self, destinations: Sequence[str]) -> None:
+        """Raise :class:`DistributionError` unless the plan is sound.
+
+        Soundness: every destination receives the object exactly once,
+        every source already holds it, and no transfer is a self-copy.
+        """
+        holders = {"manager"}
+        received: set[str] = set()
+        for t in self.transfers:
+            if t.object_name != self.object_name:
+                raise DistributionError("plan mixes objects")
+            if t.source == t.dest:
+                raise DistributionError(f"self-transfer at {t.source!r}")
+            if t.source not in holders:
+                raise DistributionError(
+                    f"{t.source!r} sends {t.object_name!r} before receiving it"
+                )
+            if t.dest in received:
+                raise DistributionError(f"{t.dest!r} receives the object twice")
+            received.add(t.dest)
+            holders.add(t.dest)
+        missing = set(destinations) - received
+        if missing:
+            raise DistributionError(f"plan misses destinations: {sorted(missing)}")
+
+
+def _tree_order(
+    roots: List[str], pending: List[str], cap: int, transfers: List[Transfer],
+    object_name: str, size: int,
+) -> None:
+    """Grow a spanning tree breadth-first from ``roots`` over ``pending``.
+
+    Each holder fans out to at most ``cap`` children per round, modelling
+    the concurrent-transfer cap; holders keep serving in later rounds,
+    which matches TaskVine redirecting a worker to "start sending relevant
+    input files to other workers" as soon as it reports success.
+    """
+    holders = list(roots)
+    queue = list(pending)
+    while queue:
+        next_holders = list(holders)
+        for holder in holders:
+            for _ in range(cap):
+                if not queue:
+                    break
+                dest = queue.pop(0)
+                transfers.append(Transfer(holder, dest, object_name, size))
+                next_holders.append(dest)
+        holders = next_holders
+
+
+def plan_broadcast(
+    topology: Topology,
+    object_name: str,
+    size: int,
+    mode: TransferMode,
+    *,
+    destinations: Sequence[str] | None = None,
+    peer_cap: int = 3,
+) -> TransferPlan:
+    """Plan a broadcast of one object to ``destinations`` (default: all workers)."""
+    if size < 0:
+        raise DistributionError("object size must be non-negative")
+    if peer_cap < 1:
+        raise DistributionError("peer_cap must be at least 1")
+    dests = list(destinations) if destinations is not None else list(topology.workers)
+    for d in dests:
+        if d not in topology.cluster_of:
+            raise DistributionError(f"unknown destination {d!r}")
+    plan = TransferPlan(
+        object_name=object_name,
+        size=size,
+        mode=mode,
+        peer_cap=None if mode is TransferMode.MANAGER_ONLY else peer_cap,
+    )
+
+    if mode is TransferMode.MANAGER_ONLY:
+        for d in dests:
+            plan.transfers.append(Transfer("manager", d, object_name, size))
+
+    elif mode is TransferMode.PEER:
+        _tree_order(["manager"], dests, peer_cap, plan.transfers, object_name, size)
+
+    elif mode is TransferMode.CLUSTER_AWARE:
+        # Manager seeds one worker per cluster sequentially, then each
+        # cluster broadcasts internally as a spanning tree (Fig 3c).
+        by_cluster: Dict[str, List[str]] = {}
+        for d in dests:
+            by_cluster.setdefault(topology.cluster_of[d], []).append(d)
+        for cluster_dests in by_cluster.values():
+            seed = cluster_dests[0]
+            plan.transfers.append(Transfer("manager", seed, object_name, size))
+        for cluster_dests in by_cluster.values():
+            seed, rest = cluster_dests[0], cluster_dests[1:]
+            _tree_order([seed], rest, peer_cap, plan.transfers, object_name, size)
+    else:  # pragma: no cover - enum is closed
+        raise DistributionError(f"unknown mode {mode!r}")
+
+    plan.validate(dests)
+    return plan

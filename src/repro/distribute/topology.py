@@ -1,0 +1,104 @@
+"""Cluster topology model for transfer planning.
+
+Workers belong to named clusters; worker↔worker links exist only inside
+a cluster (Figure 3c) or everywhere (3b) or nowhere (3a).  Bandwidths
+are per-endpoint: the limiting rate of a transfer is the minimum of the
+sender's and receiver's link rates, with fair sharing applied by the
+evaluator in :mod:`repro.distribute.broadcast`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.errors import DistributionError
+
+
+class TransferMode(enum.Enum):
+    """The three distribution regimes of Figure 3."""
+
+    MANAGER_ONLY = "manager-only"      # Fig 3a
+    PEER = "peer"                      # Fig 3b
+    CLUSTER_AWARE = "cluster-aware"    # Fig 3c
+
+
+@dataclass
+class Topology:
+    """Manager plus workers with per-endpoint bandwidths and cluster labels.
+
+    Bandwidths are in bytes/second.  ``inter_cluster_bandwidth`` caps any
+    link crossing cluster boundaries (commercial-cloud uplinks in the
+    paper's example are the slow path).
+    """
+
+    manager_bandwidth: float = 1.25e9            # 10 GbE by default
+    default_worker_bandwidth: float = 1.25e9
+    inter_cluster_bandwidth: float = 0.125e9     # 1 Gb/s WAN-ish default
+    workers: List[str] = field(default_factory=list)
+    cluster_of: Dict[str, str] = field(default_factory=dict)
+    worker_bandwidth: Dict[str, float] = field(default_factory=dict)
+
+    def add_worker(
+        self, name: str, *, cluster: str = "local", bandwidth: float | None = None
+    ) -> None:
+        if name in self.cluster_of:
+            raise DistributionError(f"worker {name!r} already in topology")
+        if name == "manager":
+            raise DistributionError("'manager' is a reserved endpoint name")
+        self.workers.append(name)
+        self.cluster_of[name] = cluster
+        if bandwidth is not None:
+            if bandwidth <= 0:
+                raise DistributionError("bandwidth must be positive")
+            self.worker_bandwidth[name] = bandwidth
+
+    def bandwidth(self, endpoint: str) -> float:
+        if endpoint == "manager":
+            return self.manager_bandwidth
+        if endpoint not in self.cluster_of:
+            raise DistributionError(f"unknown endpoint {endpoint!r}")
+        return self.worker_bandwidth.get(endpoint, self.default_worker_bandwidth)
+
+    def clusters(self) -> List[str]:
+        """Cluster names in first-seen order."""
+        seen: List[str] = []
+        for w in self.workers:
+            c = self.cluster_of[w]
+            if c not in seen:
+                seen.append(c)
+        return seen
+
+    def workers_in(self, cluster: str) -> List[str]:
+        return [w for w in self.workers if self.cluster_of[w] == cluster]
+
+    def link_bandwidth(self, src: str, dst: str) -> float:
+        """Point-to-point rate: min of endpoints, capped when crossing clusters."""
+        rate = min(self.bandwidth(src), self.bandwidth(dst))
+        src_cluster = None if src == "manager" else self.cluster_of[src]
+        dst_cluster = None if dst == "manager" else self.cluster_of.get(dst)
+        if dst not in self.cluster_of and dst != "manager":
+            raise DistributionError(f"unknown endpoint {dst!r}")
+        if src_cluster is not None and dst_cluster is not None and src_cluster != dst_cluster:
+            rate = min(rate, self.inter_cluster_bandwidth)
+        return rate
+
+
+def uniform_topology(
+    n_workers: int,
+    *,
+    bandwidth: float = 1.25e9,
+    manager_bandwidth: float | None = None,
+    cluster: str = "local",
+) -> Topology:
+    """Convenience constructor: ``n_workers`` identical workers, one cluster."""
+    if n_workers < 0:
+        raise DistributionError("n_workers must be non-negative")
+    topo = Topology(
+        manager_bandwidth=manager_bandwidth if manager_bandwidth is not None else bandwidth,
+        default_worker_bandwidth=bandwidth,
+    )
+    for i in range(n_workers):
+        topo.add_worker(f"worker-{i:04d}", cluster=cluster)
+    return topo

@@ -1,0 +1,183 @@
+"""Worker-local content-addressed cache with pinning and LRU eviction.
+
+The *retain* mechanism needs workers to keep context files "as long as
+necessary" (§1) within a bounded disk allocation.  Files referenced by a
+running library or task are *pinned* and never evicted; unpinned files
+are evicted least-recently-used when a new insertion would exceed the
+cache's capacity.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.errors import CacheError
+from repro.util.hashing import hash_file, short_hash
+
+
+@dataclass
+class CacheEntry:
+    digest: str
+    size: int
+    path: str
+    pins: int = 0
+
+
+class WorkerCache:
+    """Content-addressed file cache rooted at a directory.
+
+    Capacity is in bytes; ``capacity=None`` means unbounded (used when the
+    worker's disk allocation is generous, as in the paper's experiments).
+    """
+
+    def __init__(
+        self,
+        root: str,
+        capacity: Optional[int] = None,
+        *,
+        on_evict: Optional[callable] = None,
+    ):
+        self.root = root
+        os.makedirs(root, exist_ok=True)
+        self.capacity = capacity
+        self._entries: "OrderedDict[str, CacheEntry]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        # Called with each evicted digest so the owner (the worker) can
+        # tell the manager the replica is gone — otherwise the manager's
+        # replica map silently goes stale and later dispatches fail.
+        self.on_evict = on_evict
+
+    # -- queries ---------------------------------------------------------
+    def __contains__(self, digest: str) -> bool:
+        return digest in self._entries
+
+    def used_bytes(self) -> int:
+        return sum(e.size for e in self._entries.values())
+
+    def path_of(self, digest: str) -> str:
+        """Path of a cached file; records an access (LRU touch)."""
+        entry = self._entries.get(digest)
+        if entry is None:
+            self.misses += 1
+            raise CacheError(f"cache miss for {short_hash(digest)}")
+        self.hits += 1
+        self._entries.move_to_end(digest)
+        return entry.path
+
+    def probe(self, digest: str) -> bool:
+        """Hit test without raising (still counts hit/miss statistics)."""
+        if digest in self._entries:
+            self.hits += 1
+            self._entries.move_to_end(digest)
+            return True
+        self.misses += 1
+        return False
+
+    # -- mutation --------------------------------------------------------
+    def _evict_for(self, incoming: int) -> None:
+        if self.capacity is None:
+            return
+        if incoming > self.capacity:
+            raise CacheError(
+                f"object of {incoming} bytes exceeds cache capacity {self.capacity}"
+            )
+        while self.used_bytes() + incoming > self.capacity:
+            victim = next(
+                (d for d, e in self._entries.items() if e.pins == 0), None
+            )
+            if victim is None:
+                raise CacheError("cache full and every entry is pinned")
+            entry = self._entries.pop(victim)
+            try:
+                if os.path.isdir(entry.path):
+                    shutil.rmtree(entry.path, ignore_errors=True)
+                else:
+                    os.unlink(entry.path)
+            except OSError:
+                pass
+            self.evictions += 1
+            if self.on_evict is not None:
+                self.on_evict(victim)
+
+    def insert_bytes(self, digest: str, data: bytes) -> str:
+        """Insert raw bytes under ``digest``; returns the cached path."""
+        if digest in self._entries:
+            return self.path_of(digest)
+        self._evict_for(len(data))
+        path = os.path.join(self.root, digest)
+        tmp = f"{path}.tmp.{os.getpid()}"
+        with open(tmp, "wb") as fh:
+            fh.write(data)
+        os.replace(tmp, path)
+        self._entries[digest] = CacheEntry(digest, len(data), path)
+        return path
+
+    def insert_path(self, digest: str, source: str, *, verify: bool = True) -> str:
+        """Adopt a file already on local disk (e.g. received via peer transfer)."""
+        if digest in self._entries:
+            return self.path_of(digest)
+        if verify and hash_file(source) != digest:
+            raise CacheError(f"content of {source} does not match {short_hash(digest)}")
+        size = os.stat(source).st_size
+        self._evict_for(size)
+        path = os.path.join(self.root, digest)
+        os.replace(source, path)
+        self._entries[digest] = CacheEntry(digest, size, path)
+        return path
+
+    def register_dir(self, digest: str, path: str, size: int) -> None:
+        """Track an unpacked directory (e.g. an expanded environment).
+
+        Directories are derived objects keyed by ``<package-hash>.dir``
+        style digests; they participate in accounting and eviction like
+        flat files.
+        """
+        if digest in self._entries:
+            return
+        self._evict_for(size)
+        self._entries[digest] = CacheEntry(digest, size, path)
+
+    def pin(self, digest: str) -> None:
+        entry = self._entries.get(digest)
+        if entry is None:
+            raise CacheError(f"cannot pin missing entry {short_hash(digest)}")
+        entry.pins += 1
+
+    def unpin(self, digest: str) -> None:
+        entry = self._entries.get(digest)
+        if entry is None:
+            raise CacheError(f"cannot unpin missing entry {short_hash(digest)}")
+        if entry.pins <= 0:
+            raise CacheError(f"entry {short_hash(digest)} is not pinned")
+        entry.pins -= 1
+
+    def remove(self, digest: str) -> None:
+        """Explicit removal (manager-directed unlink)."""
+        entry = self._entries.get(digest)
+        if entry is None:
+            return
+        if entry.pins > 0:
+            raise CacheError(f"entry {short_hash(digest)} is pinned; cannot remove")
+        del self._entries[digest]
+        try:
+            if os.path.isdir(entry.path):
+                shutil.rmtree(entry.path, ignore_errors=True)
+            else:
+                os.unlink(entry.path)
+        except OSError:
+            pass
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "entries": len(self._entries),
+            "bytes": self.used_bytes(),
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }

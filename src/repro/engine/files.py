@@ -1,0 +1,131 @@
+"""Manager-side file declarations and the content-addressed file store.
+
+Every file the engine moves — serialized functions, argument blobs,
+environment packages, user datasets, results — is registered here under
+the SHA-256 of its contents ("naming files based on the hash of their
+contents", §2.2.2).  :class:`VineFile` is the user-facing handle, like
+``vine.File`` in Figure 5 of the paper.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+from dataclasses import dataclass
+from typing import Dict, Iterator
+
+from repro.errors import EngineError
+from repro.util.hashing import hash_bytes, hash_file, short_hash
+
+
+@dataclass(frozen=True)
+class VineFile:
+    """A declared, immutable, content-addressed file.
+
+    ``cache`` requests retention in worker caches between tasks;
+    ``peer_transfer`` allows workers to exchange it directly (Fig 3b).
+    """
+
+    hash: str
+    size: int
+    remote_name: str
+    cache: bool = True
+    peer_transfer: bool = True
+
+    @property
+    def cache_key(self) -> str:
+        return self.hash
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"VineFile({self.remote_name!r}, {short_hash(self.hash)}, "
+            f"{self.size}B, cache={self.cache}, peer={self.peer_transfer})"
+        )
+
+
+class FileStore:
+    """Content-addressed store rooted at a directory.
+
+    The manager materializes every declared file here once; workers fetch
+    by hash.  Idempotent puts make re-declaration free, which is what lets
+    identical contexts deduplicate.
+    """
+
+    def __init__(self, root: str):
+        self.root = root
+        os.makedirs(root, exist_ok=True)
+        self._files: Dict[str, VineFile] = {}
+
+    def _path_for(self, digest: str) -> str:
+        return os.path.join(self.root, digest)
+
+    def put_bytes(
+        self,
+        data: bytes,
+        remote_name: str,
+        *,
+        cache: bool = True,
+        peer_transfer: bool = True,
+    ) -> VineFile:
+        digest = hash_bytes(data)
+        path = self._path_for(digest)
+        if not os.path.exists(path):
+            tmp = f"{path}.tmp.{os.getpid()}"
+            with open(tmp, "wb") as fh:
+                fh.write(data)
+            os.replace(tmp, path)
+        f = VineFile(digest, len(data), remote_name, cache, peer_transfer)
+        self._files[digest] = f
+        return f
+
+    def put_path(
+        self,
+        source: str,
+        remote_name: str | None = None,
+        *,
+        cache: bool = True,
+        peer_transfer: bool = True,
+    ) -> VineFile:
+        if not os.path.isfile(source):
+            raise EngineError(f"declared file does not exist: {source}")
+        digest = hash_file(source)
+        path = self._path_for(digest)
+        if not os.path.exists(path):
+            tmp = f"{path}.tmp.{os.getpid()}"
+            shutil.copyfile(source, tmp)
+            os.replace(tmp, path)
+        f = VineFile(
+            digest,
+            os.stat(path).st_size,
+            remote_name or os.path.basename(source),
+            cache,
+            peer_transfer,
+        )
+        self._files[digest] = f
+        return f
+
+    def get(self, digest: str) -> VineFile:
+        try:
+            return self._files[digest]
+        except KeyError:
+            raise EngineError(f"unknown file {short_hash(digest)}") from None
+
+    def open_path(self, digest: str) -> str:
+        """Local path of a stored file's contents."""
+        path = self._path_for(digest)
+        if not os.path.exists(path):
+            raise EngineError(f"file {short_hash(digest)} missing from store")
+        return path
+
+    def read(self, digest: str) -> bytes:
+        with open(self.open_path(digest), "rb") as fh:
+            return fh.read()
+
+    def __contains__(self, digest: str) -> bool:
+        return digest in self._files
+
+    def __iter__(self) -> Iterator[VineFile]:
+        return iter(self._files.values())
+
+    def __len__(self) -> int:
+        return len(self._files)

@@ -1,0 +1,243 @@
+"""Entry point for *library* processes (``python -m repro.engine.library_main``).
+
+A library is the paper's retained-context daemon (§3.4): it is forked and
+exec'd by the worker like a normal task, but instead of doing work it
+
+1. reads its configuration (the serialized context spec),
+2. reconstructs every function of the context into one shared namespace,
+3. executes all context-setup functions,
+4. notifies the worker that it is ready, and
+5. loops serving invocations — *direct* (synchronous, in-process) or
+   *fork* (child process per invocation) — until told to shut down.
+
+State sharing contract: functions reconstructed from source share one
+module namespace, so ``global model`` in the setup function is visible
+to invocations.  If the setup function returns a mapping, its items are
+merged into that namespace as well (the portable way for binary-captured
+functions).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import signal
+import socket
+import sys
+import time
+import traceback
+from typing import Any, Dict
+
+
+def _serve_invocation_in(sandbox: str, fn, ns: Dict[str, Any]) -> Dict[str, Any]:
+    """Execute one invocation whose args are staged in ``sandbox``.
+
+    Returns the outcome dict and writes the result file, mirroring
+    task_runner's format so the worker handles both identically.
+    """
+    from repro.engine.sandbox import ARGS_FILE, RESULT_FILE
+    from repro.serialize.core import deserialize_from_file, serialize_to_file
+
+    home = os.getcwd()
+    os.chdir(sandbox)
+    try:
+        load_started = time.monotonic()
+        try:
+            spec = deserialize_from_file(os.path.join(sandbox, ARGS_FILE))
+            args = spec.get("args", ())
+            kwargs = spec.get("kwargs", {})
+        except Exception as exc:
+            outcome: Dict[str, Any] = {
+                "ok": False,
+                "error": f"bad arguments: {exc}",
+                "traceback": traceback.format_exc(),
+                "times": {"invoc_overhead": time.monotonic() - load_started, "exec_time": 0.0},
+            }
+            serialize_to_file(outcome, os.path.join(sandbox, RESULT_FILE))
+            return outcome
+        invoc_overhead = time.monotonic() - load_started
+        exec_started = time.monotonic()
+        try:
+            value = fn(*args, **kwargs)
+            outcome = {"ok": True, "value": value}
+        except BaseException as exc:
+            outcome = {
+                "ok": False,
+                "error": f"{type(exc).__name__}: {exc}",
+                "traceback": traceback.format_exc(),
+            }
+        outcome["times"] = {
+            "invoc_overhead": invoc_overhead,
+            "exec_time": time.monotonic() - exec_started,
+        }
+        serialize_to_file(outcome, os.path.join(sandbox, RESULT_FILE))
+        return outcome
+    finally:
+        os.chdir(home)
+
+
+class LibraryServer:
+    """The daemon loop: context setup once, invocations many times."""
+
+    def __init__(self, spec_path: str, socket_path: str, env_dir: str | None):
+        self.spec_path = spec_path
+        self.socket_path = socket_path
+        self.env_dir = env_dir
+        self.namespace: Dict[str, Any] = {}
+        self.functions: Dict[str, Any] = {}
+        self.children: Dict[int, int] = {}  # pid -> invocation task id
+        self.setup_time = 0.0
+
+    # -- context construction ---------------------------------------------
+    def build_context(self) -> None:
+        setup_started = time.monotonic()
+        if self.env_dir:
+            sys.path.insert(0, self.env_dir)
+        from repro.serialize.core import deserialize_from_file
+
+        spec = deserialize_from_file(self.spec_path)
+        codes = spec["functions"]           # name -> FunctionCode
+        for name in sorted(codes):
+            self.functions[name] = codes[name].reconstruct(self.namespace)
+        setup_code = spec.get("setup")
+        if setup_code is not None:
+            setup_fn = setup_code.reconstruct(self.namespace)
+            returned = setup_fn(*spec.get("setup_args", ()))
+            # Merge globals the setup created in ITS namespace (binary route)
+            # plus any returned mapping into the shared namespace.
+            own_globals = getattr(setup_fn, "__globals__", {})
+            for key, value in own_globals.items():
+                if not key.startswith("__") and key not in self.namespace:
+                    self.namespace[key] = value
+            if isinstance(returned, dict):
+                self.namespace.update(returned)
+        # Binary-captured functions carry their own globals dict; give them
+        # visibility into the shared context namespace.
+        for fn in self.functions.values():
+            fn_globals = getattr(fn, "__globals__", None)
+            if fn_globals is not None and fn_globals is not self.namespace:
+                for key, value in self.namespace.items():
+                    if not key.startswith("__"):
+                        fn_globals.setdefault(key, value)
+        self.setup_time = time.monotonic() - setup_started
+
+    # -- main loop -----------------------------------------------------------
+    def serve(self) -> int:
+        from repro.engine.messages import Connection
+
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.connect(self.socket_path)
+        conn = Connection(sock, name="worker")
+        try:
+            self.build_context()
+        except BaseException as exc:
+            conn.send(
+                {
+                    "type": "startup_failed",
+                    "error": f"{type(exc).__name__}: {exc}",
+                    "traceback": traceback.format_exc(),
+                }
+            )
+            return 1
+        conn.send({"type": "ready", "setup_time": self.setup_time})
+        while True:
+            self._reap_children(conn)
+            try:
+                message, _ = conn.receive(timeout=0.05)
+            except TimeoutError:
+                continue
+            except Exception:
+                return 0  # worker went away; nothing more to serve
+            mtype = message.get("type")
+            if mtype == "shutdown":
+                self._drain_children(conn)
+                conn.send({"type": "bye"})
+                return 0
+            if mtype == "invoke":
+                self._handle_invoke(conn, message)
+            # unknown types are ignored: forward compatibility
+
+    def _handle_invoke(self, conn, message: Dict[str, Any]) -> None:
+        task_id = message["task_id"]
+        fname = message["function"]
+        sandbox = message["sandbox"]
+        mode = message.get("mode", "direct")
+        fn = self.functions.get(fname)
+        if fn is None:
+            conn.send(
+                {
+                    "type": "complete",
+                    "task_id": task_id,
+                    "ok": False,
+                    "error": f"library has no function {fname!r}",
+                }
+            )
+            return
+        if mode == "fork":
+            pid = os.fork()
+            if pid == 0:
+                # Child: run the invocation in the inherited (already set
+                # up) context, write the result file, and exit without
+                # running any parent cleanup.
+                code = 0
+                try:
+                    _serve_invocation_in(sandbox, fn, self.namespace)
+                except BaseException:
+                    code = 1
+                os._exit(code)
+            self.children[pid] = task_id
+            return
+        outcome = _serve_invocation_in(sandbox, fn, self.namespace)
+        conn.send(
+            {
+                "type": "complete",
+                "task_id": task_id,
+                "ok": bool(outcome.get("ok")),
+                "times": outcome.get("times", {}),
+            }
+        )
+
+    def _reap_children(self, conn) -> None:
+        """Collect finished fork-mode invocations (the SIGCHLD path)."""
+        while self.children:
+            try:
+                pid, status = os.waitpid(-1, os.WNOHANG)
+            except ChildProcessError:
+                self.children.clear()
+                return
+            if pid == 0:
+                return
+            task_id = self.children.pop(pid, None)
+            if task_id is None:
+                continue
+            ok = os.waitstatus_to_exitcode(status) == 0
+            conn.send({"type": "complete", "task_id": task_id, "ok": ok, "times": {}})
+
+    def _drain_children(self, conn) -> None:
+        while self.children:
+            try:
+                pid, status = os.waitpid(-1, 0)
+            except ChildProcessError:
+                self.children.clear()
+                return
+            task_id = self.children.pop(pid, None)
+            if task_id is not None:
+                ok = os.waitstatus_to_exitcode(status) == 0
+                conn.send({"type": "complete", "task_id": task_id, "ok": ok, "times": {}})
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description="repro library daemon")
+    parser.add_argument("--spec", required=True, help="serialized context spec file")
+    parser.add_argument("--socket", required=True, help="worker's unix socket path")
+    parser.add_argument("--env-dir", default=None, help="unpacked environment directory")
+    parser.add_argument("--sandbox", required=True, help="library sandbox directory")
+    args = parser.parse_args(argv)
+    os.chdir(args.sandbox)
+    signal.signal(signal.SIGTERM, lambda *_: os._exit(0))
+    server = LibraryServer(args.spec, args.socket, args.env_dir)
+    return server.serve()
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,790 @@
+"""The manager: scheduling, file staging, library deployment, result retrieval.
+
+This is the engine-layer counterpart of ``vine.Manager`` in Figure 5.
+A single-threaded event loop (driven by :meth:`Manager.wait`) accepts
+worker connections, dispatches queued tasks/invocations, streams input
+files (directly or via peer transfers per the configured
+:class:`~repro.distribute.topology.TransferMode`), and collects results.
+
+Scheduling follows §3.5.2:
+
+* invocations are matched to ready library instances with free slots,
+  walking the hash ring;
+* when no instance has a slot, a new instance is placed on the first
+  worker with resources;
+* when nothing fits, an *empty library* of another function is evicted
+  and its resources reclaimed.
+"""
+
+from __future__ import annotations
+
+import collections
+import os
+import selectors
+import socket
+import tempfile
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Deque, Dict, Iterable, List, Optional, Set
+
+from repro.discover.context import FunctionContext, discover_context
+from repro.discover.data import DataBinding
+from repro.discover.packaging import pack_environment
+from repro.distribute.topology import TransferMode
+from repro.engine import messages
+from repro.engine.files import FileStore, VineFile
+from repro.engine.resources import Resources
+from repro.engine.scheduling import LibraryInstance, Placement
+from repro.engine.task import (
+    ExecMode,
+    FunctionCall,
+    LibraryTask,
+    PythonTask,
+    Task,
+    TaskState,
+    failure_from_message,
+)
+from repro.errors import EngineError, LibraryError, TaskFailure, WorkerError
+from repro.serialize.core import deserialize, serialize
+from repro.util.logging import get_logger
+
+
+@dataclass
+class _WorkerLink:
+    name: str
+    conn: messages.Connection
+    resources: Resources
+    transfer_host: str = ""
+    transfer_port: int = 0
+    cached: Set[str] = field(default_factory=set)       # confirmed holdings
+    assumed: Set[str] = field(default_factory=set)      # sent, not yet confirmed
+    status: Dict[str, Any] = field(default_factory=dict)  # last status report
+
+
+@dataclass
+class _InstanceRecord:
+    instance: LibraryInstance
+    library: LibraryTask
+    deploy_times: Dict[str, float] = field(default_factory=dict)
+    removing: bool = False
+
+
+class Manager:
+    """The TaskVine-like manager node.
+
+    Parameters
+    ----------
+    port:
+        TCP port to listen on (0 = ephemeral).
+    workdir:
+        Directory for the content-addressed file store; a temporary
+        directory is created when omitted.
+    transfer_mode:
+        How context files reach workers: ``MANAGER_ONLY`` sends every
+        copy from the manager; ``PEER`` redirects workers that already
+        hold a file to serve their peers.
+    """
+
+    def __init__(
+        self,
+        port: int = 0,
+        *,
+        workdir: str | None = None,
+        transfer_mode: TransferMode = TransferMode.PEER,
+        name: str = "manager",
+        enable_library_eviction: bool = True,
+    ):
+        self.name = name
+        self.transfer_mode = transfer_mode
+        self.enable_library_eviction = enable_library_eviction
+        if workdir is None:
+            workdir = tempfile.mkdtemp(prefix="repro-manager-")
+        self.workdir = workdir
+        self.store = FileStore(os.path.join(workdir, "store"))
+        self.placement = Placement()
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind(("127.0.0.1", port))
+        self._listener.listen(64)
+        self._listener.setblocking(False)
+        self._selector = selectors.DefaultSelector()
+        self._selector.register(self._listener, selectors.EVENT_READ, ("accept", None))
+        self._workers: Dict[str, _WorkerLink] = {}
+        self._libraries: Dict[str, LibraryTask] = {}
+        self._instances: Dict[int, _InstanceRecord] = {}
+        self._ready: Deque[Task] = collections.deque()
+        self._running: Dict[int, Task] = {}
+        self._invocation_instance: Dict[int, int] = {}  # task id -> instance id
+        self._task_worker_key: Dict[int, str] = {}
+        self._completed: Deque[Task] = collections.deque()
+        self._closed = False
+        # Counters for experiments.
+        self.stats: Dict[str, float] = collections.defaultdict(float)
+        self.log = get_logger("manager")
+        self.log.info("listening on %s", self.address)
+
+    # ------------------------------------------------------------------ API
+    @property
+    def port(self) -> int:
+        return self._listener.getsockname()[1]
+
+    @property
+    def address(self) -> str:
+        host, port = self._listener.getsockname()
+        return f"{host}:{port}"
+
+    def declare_file(
+        self,
+        path: str,
+        *,
+        remote_name: str | None = None,
+        cache: bool = True,
+        peer_transfer: bool = True,
+    ) -> VineFile:
+        """Register a file for use as a task/library input (``vine.File``)."""
+        return self.store.put_path(
+            path, remote_name, cache=cache, peer_transfer=peer_transfer
+        )
+
+    def declare_buffer(
+        self,
+        data: bytes,
+        remote_name: str,
+        *,
+        cache: bool = True,
+        peer_transfer: bool = True,
+    ) -> VineFile:
+        """Register literal bytes as an input file."""
+        return self.store.put_bytes(
+            data, remote_name, cache=cache, peer_transfer=peer_transfer
+        )
+
+    def create_library_from_functions(
+        self,
+        name: str,
+        *functions: Callable[..., Any],
+        context: Callable[..., Any] | None = None,
+        context_args: Iterable[Any] = (),
+        function_slots: int = 1,
+        resources: Resources | None = None,
+        exec_mode: ExecMode = ExecMode.DIRECT,
+        package_environment: bool = False,
+        extra_imports: Iterable[str] = (),
+        data: Iterable[DataBinding] = (),
+    ) -> LibraryTask:
+        """Discover a context for ``functions`` and wrap it as a library task.
+
+        Mirrors lines 7-8 of Figure 5.  ``package_environment=True``
+        additionally scans imports and builds a shippable environment
+        package (the Poncho/conda-pack path); it is off by default
+        because local test workers share the manager's interpreter.
+        """
+        ctx = discover_context(
+            name,
+            list(functions),
+            setup=context,
+            setup_args=context_args,
+            extra_imports=extra_imports,
+            scan_dependencies=package_environment,
+            data=data,
+        )
+        return LibraryTask(
+            ctx,
+            function_slots=function_slots,
+            resources=resources,
+            exec_mode=exec_mode,
+        )
+
+    def install_library(self, library: LibraryTask) -> None:
+        """Register a library so invocations may name it (Figure 5 line 12).
+
+        Prepares the shippable artifacts once: the serialized context
+        spec, the environment package (when the context has shippable
+        modules), and the data bindings — all content-addressed files.
+        """
+        if library.name in self._libraries:
+            raise LibraryError(f"library {library.name!r} already installed")
+        ctx = library.context
+        spec_blob = serialize(
+            {
+                "name": ctx.name,
+                "functions": dict(ctx.functions),
+                "setup": ctx.setup,
+                "setup_args": ctx.setup_args,
+            }
+        )
+        library._spec_file = self.store.put_bytes(  # type: ignore[attr-defined]
+            spec_blob, f"context-{ctx.name}.spec"
+        )
+        library._env_file = None  # type: ignore[attr-defined]
+        if ctx.environment.modules:
+            pkg_path = os.path.join(self.workdir, f"env-{ctx.name}.tar.gz")
+            pack_environment(ctx.environment, pkg_path)
+            library._env_file = self.store.put_path(  # type: ignore[attr-defined]
+                pkg_path, f"env-{ctx.name}.tar.gz"
+            )
+        data_files: List[VineFile] = []
+        for binding in ctx.data:
+            data_files.append(
+                self.store.put_bytes(
+                    binding.read(),
+                    binding.remote_name,
+                    cache=binding.cache,
+                    peer_transfer=binding.peer_transfer,
+                )
+            )
+        library._data_files = data_files  # type: ignore[attr-defined]
+        self._libraries[library.name] = library
+
+    def submit(self, task: Task) -> int:
+        """Queue a task or invocation; returns its id."""
+        if self._closed:
+            raise EngineError("manager is closed")
+        if task.state is not TaskState.CREATED:
+            raise EngineError(f"task {task.id} was already submitted")
+        if isinstance(task, FunctionCall):
+            library = self._libraries.get(task.library_name)
+            if library is None:
+                raise LibraryError(f"no installed library named {task.library_name!r}")
+            if not library.provides(task.function_name):
+                raise LibraryError(
+                    f"library {task.library_name!r} has no function "
+                    f"{task.function_name!r}"
+                )
+        elif isinstance(task, LibraryTask):
+            raise EngineError("libraries are installed, not submitted")
+        task.state = TaskState.SUBMITTED
+        task.mark("submitted", time.monotonic())
+        self._ready.append(task)
+        self.stats["submitted"] += 1
+        return task.id
+
+    def empty(self) -> bool:
+        return not self._ready and not self._running and not self._completed
+
+    def wait(self, timeout: float = 5.0) -> Optional[Task]:
+        """Advance the engine until a task completes or ``timeout`` passes."""
+        deadline = time.monotonic() + timeout
+        while True:
+            if self._completed:
+                return self._completed.popleft()
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                return None
+            self._advance(min(remaining, 0.05))
+
+    def wait_all(self, tasks: Iterable[Task], timeout: float = 60.0) -> List[Task]:
+        """Wait until every task in ``tasks`` is DONE or FAILED."""
+        pending = {t.id: t for t in tasks}
+        deadline = time.monotonic() + timeout
+        finished: List[Task] = []
+        while pending:
+            if time.monotonic() > deadline:
+                raise EngineError(f"timed out waiting on {len(pending)} tasks")
+            task = self.wait(timeout=min(1.0, deadline - time.monotonic()))
+            if task is not None and task.id in pending:
+                finished.append(pending.pop(task.id))
+            elif task is not None:
+                self._completed.append(task)  # not ours; put it back
+        return finished
+
+    def wait_for_workers(self, count: int, timeout: float = 60.0) -> None:
+        """Block until ``count`` workers are connected (the paper starts
+        applications only when ≥95% of requested workers joined)."""
+        deadline = time.monotonic() + timeout
+        while len(self._workers) < count:
+            if time.monotonic() > deadline:
+                raise WorkerError(
+                    f"only {len(self._workers)}/{count} workers connected"
+                )
+            self._advance(0.05)
+
+    def connected_workers(self) -> List[str]:
+        return sorted(self._workers)
+
+    def cancel(self, task: Task) -> bool:
+        """Best-effort cancellation.
+
+        Queued tasks are withdrawn immediately.  A dispatched
+        :class:`PythonTask` has its runner process killed on the worker.
+        A dispatched invocation cannot be interrupted (direct-mode
+        execution shares the library process) and returns ``False``.
+        """
+        if task.state is TaskState.SUBMITTED:
+            try:
+                self._ready.remove(task)
+            except ValueError:
+                return False
+            task.set_exception(TaskFailure("cancelled before dispatch"))
+            task.mark("completed", time.monotonic())
+            self._completed.append(task)
+            self.stats["cancelled"] += 1
+            return True
+        if task.state is TaskState.DISPATCHED and isinstance(task, PythonTask):
+            worker = task.worker
+            if worker in self._workers:
+                self._workers[worker].conn.send(
+                    {"type": "cancel", "task_id": task.id}
+                )
+                self.stats["cancelled"] += 1
+                return True
+        return False
+
+    def worker_status(self) -> Dict[str, Dict[str, Any]]:
+        """The latest self-reported status of each connected worker:
+        cache statistics, running task count, hosted libraries.  Workers
+        report periodically (§2.1.3's resource accounting)."""
+        return {name: dict(link.status) for name, link in self._workers.items()}
+
+    def library_deploy_times(self, library_name: str) -> List[Dict[str, float]]:
+        """Per-instance deploy overheads (worker unpack + context setup) of
+        every live instance of ``library_name`` — the Table 5 "L3 Library"
+        row is measured from these."""
+        return [
+            dict(record.deploy_times)
+            for record in self._instances.values()
+            if record.library.name == library_name
+        ]
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for link in list(self._workers.values()):
+            try:
+                link.conn.send({"type": "shutdown"})
+            except Exception:
+                pass
+            try:
+                self._selector.unregister(link.conn.sock)
+            except (KeyError, ValueError):
+                pass
+            link.conn.close()
+        self._workers.clear()
+        try:
+            self._selector.unregister(self._listener)
+        except (KeyError, ValueError):
+            pass
+        self._listener.close()
+
+    def __enter__(self) -> "Manager":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    # ----------------------------------------------------------- event loop
+    def _advance(self, timeout: float) -> None:
+        self._dispatch()
+        events = self._selector.select(timeout=timeout)
+        for key, _ in events:
+            kind, ref = key.data
+            if kind == "accept":
+                self._accept_worker()
+            elif kind == "worker":
+                self._handle_worker_message(ref)
+
+    def _accept_worker(self) -> None:
+        try:
+            sock, _ = self._listener.accept()
+        except BlockingIOError:
+            return
+        sock.setblocking(True)
+        conn = messages.Connection(sock, name="worker?")
+        try:
+            hello, _ = conn.receive(timeout=10.0)
+            messages.expect(hello, "register")
+            name = str(hello["worker"])
+            if name in self._workers:
+                conn.send({"type": "error", "error": f"duplicate worker {name!r}"})
+                conn.close()
+                return
+            resources = Resources.from_dict(hello.get("resources", {}))
+            link = _WorkerLink(
+                name=name,
+                conn=conn,
+                resources=resources,
+                transfer_host=str(hello.get("transfer_host", "")),
+                transfer_port=int(hello.get("transfer_port", 0)),
+            )
+            conn.name = name
+            conn.send({"type": "welcome", "manager": self.name})
+        except Exception:
+            conn.close()
+            return
+        self._workers[name] = link
+        self.placement.add_worker(name, resources)
+        self.log.info("worker %s joined (%s)", name, resources)
+        self._selector.register(conn.sock, selectors.EVENT_READ, ("worker", link))
+
+    # -------------------------------------------------------------- dispatch
+    def _dispatch(self) -> None:
+        if not self._workers:
+            return
+        requeue: List[Task] = []
+        while self._ready:
+            task = self._ready.popleft()
+            if isinstance(task, PythonTask):
+                if not self._dispatch_python_task(task):
+                    requeue.append(task)
+            elif isinstance(task, FunctionCall):
+                if not self._dispatch_invocation(task):
+                    requeue.append(task)
+            else:  # pragma: no cover - submit() rejects other types
+                requeue.append(task)
+        self._ready.extend(requeue)
+
+    def _link_for(self, worker: str) -> _WorkerLink:
+        link = self._workers.get(worker)
+        if link is None:
+            raise WorkerError(f"worker {worker!r} is gone")
+        return link
+
+    def _ensure_file(self, link: _WorkerLink, f: VineFile) -> None:
+        """Make ``f`` present in ``link``'s cache before the next command.
+
+        Messages are handled in order on the worker, so sending the file
+        (or a transfer directive) immediately before the task command is
+        sufficient; no acknowledgement round-trip is required.
+        """
+        if f.hash in link.cached or f.hash in link.assumed:
+            return
+        started = time.monotonic()
+        if (
+            f.peer_transfer
+            and self.transfer_mode is not TransferMode.MANAGER_ONLY
+        ):
+            holder = next(
+                (
+                    w
+                    for w in self._workers.values()
+                    if f.hash in w.cached and w.name != link.name and w.transfer_port
+                ),
+                None,
+            )
+            if holder is not None:
+                link.conn.send(
+                    {
+                        "type": "transfer",
+                        "hash": f.hash,
+                        "host": holder.transfer_host,
+                        "port": holder.transfer_port,
+                        "size": f.size,
+                    }
+                )
+                link.assumed.add(f.hash)
+                self.stats["peer_transfers"] += 1
+                self.stats["transfer_seconds"] += time.monotonic() - started
+                return
+        data = self.store.read(f.hash)
+        link.conn.send(
+            {"type": "put_file", "hash": f.hash, "name": f.remote_name, "size": f.size},
+            data,
+        )
+        link.assumed.add(f.hash)
+        self.stats["manager_sends"] += 1
+        self.stats["bytes_sent"] += len(data)
+        self.stats["transfer_seconds"] += time.monotonic() - started
+
+    def _dispatch_python_task(self, task: PythonTask) -> bool:
+        worker = self.placement.place_task(str(task.id), task.resources)
+        if worker is None:
+            # Reclaim an idle library's resources (empty-library eviction
+            # applies to task scheduling too) and retry on a later round.
+            self._evict_empty_library(None)
+            return False
+        link = self._link_for(worker)
+        transfer_started = time.monotonic()
+        for f in task.inputs:
+            self._ensure_file(link, f)
+        if task.environment is not None:
+            self._ensure_file(link, task.environment)
+        task.mark("overhead.manager_transfer", time.monotonic() - transfer_started)
+        # A task carries its code with it (Table 1): capture via source when
+        # possible (works regardless of what's importable on the worker),
+        # falling back to cloudpickle-by-value for lambdas and closures.
+        from repro.serialize.source import capture_function
+
+        payload = serialize(
+            {
+                "code": capture_function(task.fn),
+                "args": task.args,
+                "kwargs": task.kwargs,
+            }
+        )
+        link.conn.send(
+            {
+                "type": "task",
+                "task_id": task.id,
+                "inputs": [
+                    {"hash": f.hash, "name": f.remote_name} for f in task.inputs
+                ],
+                "env_hash": task.environment.hash if task.environment else None,
+            },
+            payload,
+        )
+        task.state = TaskState.DISPATCHED
+        task.worker = worker
+        task.mark("dispatched", time.monotonic())
+        self._running[task.id] = task
+        self._task_worker_key[task.id] = worker
+        return True
+
+    def _dispatch_invocation(self, task: FunctionCall) -> bool:
+        library = self._libraries[task.library_name]
+        inst = self.placement.find_invocation_slot(task.library_name)
+        if inst is None:
+            if self._deploy_library_somewhere(library):
+                return False  # instance warming up; stay queued
+            if self._evict_empty_library(task.library_name):
+                return False  # resources reclaimed; retry next round
+            return False
+        link = self._link_for(inst.worker)
+        for f in task.inputs:  # per-invocation input files, if any
+            self._ensure_file(link, f)
+        payload = serialize({"args": task.args, "kwargs": task.kwargs})
+        mode = (task.exec_mode or library.exec_mode).value
+        link.conn.send(
+            {
+                "type": "invocation",
+                "task_id": task.id,
+                "instance_id": inst.instance_id,
+                "function": task.function_name,
+                "mode": mode,
+                "inputs": [{"hash": f.hash, "name": f.remote_name} for f in task.inputs],
+            },
+            payload,
+        )
+        self.placement.start_invocation(inst)
+        task.state = TaskState.DISPATCHED
+        task.worker = inst.worker
+        task.mark("dispatched", time.monotonic())
+        self._running[task.id] = task
+        self._invocation_instance[task.id] = inst.instance_id
+        self.stats["invocations_dispatched"] += 1
+        return True
+
+    def _deploy_library_somewhere(self, library: LibraryTask) -> bool:
+        """Place and send one new instance of ``library``; False if nothing fits."""
+        placed = self.placement.place_library(
+            library.name, library.function_slots, library.resources
+        )
+        if placed is None:
+            return False
+        worker, instance_id = placed
+        link = self._link_for(worker)
+        spec_file: VineFile = library._spec_file  # type: ignore[attr-defined]
+        env_file: Optional[VineFile] = library._env_file  # type: ignore[attr-defined]
+        data_files: List[VineFile] = library._data_files  # type: ignore[attr-defined]
+        inputs = [spec_file] + data_files + list(library.inputs)
+        for f in inputs:
+            self._ensure_file(link, f)
+        if env_file is not None:
+            self._ensure_file(link, env_file)
+        link.conn.send(
+            {
+                "type": "library",
+                "instance_id": instance_id,
+                "library_name": library.name,
+                "spec_name": spec_file.remote_name,
+                "env_hash": env_file.hash if env_file else None,
+                "inputs": [{"hash": f.hash, "name": f.remote_name} for f in inputs],
+                "slots": library.function_slots,
+            }
+        )
+        slot = self.placement.workers[worker]
+        record = _InstanceRecord(instance=slot.libraries[instance_id], library=library)
+        self._instances[instance_id] = record
+        self.stats["libraries_deployed"] += 1
+        self.log.debug("deployed library %s#%d on %s", library.name, instance_id, worker)
+        return True
+
+    def _evict_empty_library(self, wanted_library: Optional[str]) -> bool:
+        if not self.enable_library_eviction:
+            return False
+        victim = self.placement.find_evictable_library(wanted_library)
+        if victim is None:
+            return False
+        record = self._instances.get(victim.instance_id)
+        if record is None or record.removing:
+            return False
+        record.removing = True
+        link = self._link_for(victim.worker)
+        link.conn.send({"type": "remove_library", "instance_id": victim.instance_id})
+        self.stats["libraries_evicted"] += 1
+        self.log.debug(
+            "evicting idle library %s#%d on %s",
+            victim.library_name, victim.instance_id, victim.worker,
+        )
+        return True
+
+    # ---------------------------------------------------------- worker events
+    def _handle_worker_message(self, link: _WorkerLink) -> None:
+        try:
+            message, payload = link.conn.receive(timeout=10.0)
+        except Exception:
+            self._worker_lost(link)
+            return
+        mtype = message.get("type")
+        if mtype == "status":
+            link.status = message.get("report", {})
+        elif mtype == "cache_update":
+            digest = message["hash"]
+            link.assumed.discard(digest)
+            if message.get("present"):
+                link.cached.add(digest)
+            else:
+                link.cached.discard(digest)
+        elif mtype == "library_ready":
+            self._on_library_ready(message)
+        elif mtype == "library_failed":
+            self._on_library_failed(message)
+        elif mtype == "library_removed":
+            self._on_library_removed(message)
+        elif mtype == "result":
+            self._on_result(message, payload)
+        elif mtype == "task_failed":
+            self._on_task_failed(message)
+        # unknown worker messages are tolerated for forward compatibility
+
+    def _on_library_ready(self, message: dict) -> None:
+        instance_id = int(message["instance_id"])
+        record = self._instances.get(instance_id)
+        if record is None:
+            return
+        record.deploy_times.update(message.get("times", {}))
+        self.placement.library_ready(record.instance.worker, instance_id)
+
+    def _on_library_failed(self, message: dict) -> None:
+        instance_id = int(message["instance_id"])
+        record = self._instances.pop(instance_id, None)
+        if record is None:
+            return
+        inst = record.instance
+        # Fail invocations currently bound to this instance.
+        for task_id, iid in list(self._invocation_instance.items()):
+            if iid != instance_id:
+                continue
+            task = self._running.pop(task_id, None)
+            self._invocation_instance.pop(task_id, None)
+            if task is not None:
+                task.set_exception(failure_from_message(message))
+                task.mark("completed", time.monotonic())
+                self._completed.append(task)
+            inst.used_slots = max(0, inst.used_slots - 1)
+        try:
+            self.placement.remove_library(inst.worker, instance_id)
+        except Exception:
+            pass
+        # Mark the library broken so queued invocations fail fast instead
+        # of redeploying forever.
+        library = self._libraries.get(record.library.name)
+        if library is not None:
+            failed = [
+                t
+                for t in self._ready
+                if isinstance(t, FunctionCall) and t.library_name == library.name
+            ]
+            for t in failed:
+                self._ready.remove(t)
+                t.set_exception(failure_from_message(message))
+                t.mark("completed", time.monotonic())
+                self._completed.append(t)
+
+    def _on_library_removed(self, message: dict) -> None:
+        instance_id = int(message["instance_id"])
+        record = self._instances.pop(instance_id, None)
+        if record is None:
+            return
+        try:
+            self.placement.remove_library(record.instance.worker, instance_id)
+        except Exception:
+            pass
+
+    def _finish_bookkeeping(self, task: Task) -> None:
+        if isinstance(task, FunctionCall):
+            instance_id = self._invocation_instance.pop(task.id, None)
+            if instance_id is not None:
+                record = self._instances.get(instance_id)
+                if record is not None:
+                    self.placement.finish_invocation(record.instance)
+        elif isinstance(task, PythonTask):
+            worker = self._task_worker_key.pop(task.id, None)
+            if worker is not None and worker in self.placement.workers:
+                self.placement.finish_task(worker, task.resources)
+
+    def _on_result(self, message: dict, payload: bytes) -> None:
+        task_id = int(message["task_id"])
+        task = self._running.pop(task_id, None)
+        if task is None:
+            return
+        self._finish_bookkeeping(task)
+        outcome = deserialize(payload)
+        times = dict(message.get("times", {}))
+        times.update(outcome.get("times", {}))
+        task.timeline.update(
+            {f"overhead.{k}": v for k, v in times.items() if isinstance(v, float)}
+        )
+        task.overheads = times  # type: ignore[attr-defined]
+        if outcome.get("ok"):
+            task.set_result(outcome.get("value"))
+        else:
+            task.set_exception(
+                TaskFailure(
+                    outcome.get("error", "remote failure"),
+                    remote_traceback=outcome.get("traceback"),
+                )
+            )
+            task.state = TaskState.FAILED
+        task.mark("completed", time.monotonic())
+        self._completed.append(task)
+        self.stats["completed"] += 1
+
+    def _on_task_failed(self, message: dict) -> None:
+        task_id = int(message["task_id"])
+        task = self._running.pop(task_id, None)
+        if task is None:
+            return
+        self._finish_bookkeeping(task)
+        task.set_exception(failure_from_message(message))
+        task.mark("completed", time.monotonic())
+        self._completed.append(task)
+        self.stats["failed"] += 1
+
+    def _worker_lost(self, link: _WorkerLink) -> None:
+        """Fault tolerance: requeue the lost worker's in-flight work."""
+        try:
+            self._selector.unregister(link.conn.sock)
+        except (KeyError, ValueError):
+            pass
+        link.conn.close()
+        self._workers.pop(link.name, None)
+        self.log.warning("lost worker %s", link.name)
+        if link.name not in self.placement.workers:
+            return
+        lost_instances = [
+            iid
+            for iid, rec in self._instances.items()
+            if rec.instance.worker == link.name
+        ]
+        for iid in lost_instances:
+            del self._instances[iid]
+        for task_id, iid in list(self._invocation_instance.items()):
+            if iid in lost_instances:
+                self._requeue(task_id)
+                self._invocation_instance.pop(task_id, None)
+        for task_id, worker in list(self._task_worker_key.items()):
+            if worker == link.name:
+                self._requeue(task_id)
+                self._task_worker_key.pop(task_id, None)
+        self.placement.remove_worker(link.name)
+        self.stats["workers_lost"] += 1
+
+    def _requeue(self, task_id: int) -> None:
+        task = self._running.pop(task_id, None)
+        if task is None:
+            return
+        task.state = TaskState.SUBMITTED
+        task.worker = None
+        self._ready.append(task)
+        self.stats["requeued"] += 1

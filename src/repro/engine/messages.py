@@ -1,0 +1,126 @@
+"""Wire protocol shared by manager, workers, and libraries.
+
+Every message is a JSON object framed by a 4-byte big-endian length.
+Bulk data (file contents, serialized arguments/results) never travels
+inside the JSON; a message that carries data declares ``payload_size``
+and the raw bytes follow the JSON frame.  This mirrors TaskVine's text
+protocol with out-of-band file streams and keeps the control plane
+debuggable.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Any, Dict, Optional, Tuple
+
+from repro.errors import ProtocolError
+
+MAX_MESSAGE = 64 * 1024 * 1024  # sanity cap on a JSON frame
+_HDR = 4
+
+
+class Connection:
+    """A framed-message connection over a stream socket.
+
+    All sends are blocking (local links); receives support an optional
+    timeout.  The connection tracks byte counters so benchmarks can
+    report bytes moved per hop.
+    """
+
+    def __init__(self, sock: socket.socket, name: str = "?"):
+        self.sock = sock
+        self.name = name
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        self._recv_buffer = b""
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1) if sock.family in (
+            socket.AF_INET,
+            socket.AF_INET6,
+        ) else None
+
+    def fileno(self) -> int:
+        return self.sock.fileno()
+
+    # -- sending ---------------------------------------------------------
+    def send(self, message: Dict[str, Any], payload: bytes = b"") -> None:
+        if payload:
+            message = dict(message, payload_size=len(payload))
+        blob = json.dumps(message, separators=(",", ":")).encode("utf-8")
+        if len(blob) > MAX_MESSAGE:
+            raise ProtocolError(f"message too large: {len(blob)} bytes")
+        frame = len(blob).to_bytes(_HDR, "big") + blob + payload
+        try:
+            self.sock.sendall(frame)
+        except OSError as exc:
+            raise ProtocolError(f"send to {self.name} failed: {exc}") from exc
+        self.bytes_sent += len(frame)
+
+    # -- receiving -------------------------------------------------------
+    def _recv_exact(self, n: int, timeout: Optional[float]) -> bytes:
+        """Read exactly ``n`` bytes, honouring buffered leftovers."""
+        self.sock.settimeout(timeout)
+        chunks = []
+        if self._recv_buffer:
+            take = self._recv_buffer[:n]
+            self._recv_buffer = self._recv_buffer[len(take):]
+            chunks.append(take)
+            n -= len(take)
+        while n > 0:
+            try:
+                chunk = self.sock.recv(min(n, 1 << 20))
+            except socket.timeout:
+                raise TimeoutError(f"recv from {self.name} timed out") from None
+            except OSError as exc:
+                raise ProtocolError(f"recv from {self.name} failed: {exc}") from exc
+            if not chunk:
+                raise ProtocolError(f"connection to {self.name} closed mid-message")
+            chunks.append(chunk)
+            n -= len(chunk)
+        data = b"".join(chunks)
+        self.bytes_received += len(data)
+        return data
+
+    def receive(
+        self, timeout: Optional[float] = None
+    ) -> Tuple[Dict[str, Any], bytes]:
+        """Receive one message; returns (message, payload)."""
+        header = self._recv_exact(_HDR, timeout)
+        length = int.from_bytes(header, "big")
+        if length > MAX_MESSAGE:
+            raise ProtocolError(f"oversized frame announced: {length}")
+        blob = self._recv_exact(length, timeout)
+        try:
+            message = json.loads(blob.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ProtocolError(f"bad JSON frame from {self.name}: {exc}") from exc
+        if not isinstance(message, dict) or "type" not in message:
+            raise ProtocolError(f"frame from {self.name} lacks a type")
+        payload_size = int(message.get("payload_size", 0))
+        payload = self._recv_exact(payload_size, timeout) if payload_size else b""
+        return message, payload
+
+    def close(self) -> None:
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+
+def connect(host: str, port: int, name: str = "?", timeout: float = 10.0) -> Connection:
+    """Dial a framed connection to ``host:port``."""
+    try:
+        sock = socket.create_connection((host, port), timeout=timeout)
+    except OSError as exc:
+        raise ProtocolError(f"cannot connect to {host}:{port}: {exc}") from exc
+    sock.settimeout(None)
+    return Connection(sock, name=name)
+
+
+def expect(message: Dict[str, Any], expected_type: str) -> Dict[str, Any]:
+    """Assert the message type, returning the message for chaining."""
+    if message.get("type") != expected_type:
+        raise ProtocolError(
+            f"expected message type {expected_type!r}, got {message.get('type')!r}"
+        )
+    return message

@@ -1,0 +1,94 @@
+"""Resource vectors and allocations (paper §3.5.2).
+
+"We currently employ a resource model where the library owns an arbitrary
+but fixed allocation of resources on a worker node in terms of cores,
+memory, and disk.  A library has a logical type of resource called
+invocation slots, in which each slot runs at most 1 invocation at a time."
+
+:class:`Resources` is an immutable vector; :class:`ResourcePool` tracks a
+worker's committed versus total resources.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ResourceError
+
+
+@dataclass(frozen=True)
+class Resources:
+    """Cores, memory (MB), and disk (MB).  Negative values are invalid."""
+
+    cores: int = 1
+    memory: int = 0
+    disk: int = 0
+
+    def __post_init__(self) -> None:
+        if self.cores < 0 or self.memory < 0 or self.disk < 0:
+            raise ResourceError(f"negative resource vector: {self}")
+
+    def fits_within(self, other: "Resources") -> bool:
+        return (
+            self.cores <= other.cores
+            and self.memory <= other.memory
+            and self.disk <= other.disk
+        )
+
+    def __add__(self, other: "Resources") -> "Resources":
+        return Resources(
+            self.cores + other.cores,
+            self.memory + other.memory,
+            self.disk + other.disk,
+        )
+
+    def __sub__(self, other: "Resources") -> "Resources":
+        return Resources(
+            self.cores - other.cores,
+            self.memory - other.memory,
+            self.disk - other.disk,
+        )
+
+    def scaled(self, factor: int) -> "Resources":
+        if factor < 0:
+            raise ResourceError("scale factor must be non-negative")
+        return Resources(self.cores * factor, self.memory * factor, self.disk * factor)
+
+    def to_dict(self) -> dict:
+        return {"cores": self.cores, "memory": self.memory, "disk": self.disk}
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "Resources":
+        return cls(
+            cores=int(d.get("cores", 1)),
+            memory=int(d.get("memory", 0)),
+            disk=int(d.get("disk", 0)),
+        )
+
+
+class ResourcePool:
+    """Tracks committed resources against a worker's total."""
+
+    def __init__(self, total: Resources):
+        self.total = total
+        self.committed = Resources(0, 0, 0)
+
+    @property
+    def available(self) -> Resources:
+        return self.total - self.committed
+
+    def can_allocate(self, request: Resources) -> bool:
+        return request.fits_within(self.available)
+
+    def allocate(self, request: Resources) -> None:
+        if not self.can_allocate(request):
+            raise ResourceError(
+                f"cannot allocate {request} from available {self.available}"
+            )
+        self.committed = self.committed + request
+
+    def release(self, request: Resources) -> None:
+        new = self.committed - request
+        if new.cores < 0 or new.memory < 0 or new.disk < 0:
+            raise ResourceError(f"releasing {request} exceeds committed {self.committed}")
+        self.committed = new

@@ -1,0 +1,233 @@
+"""Placement logic: hash ring, library placement, empty-library eviction.
+
+Paper §3.5.2: "the manager sequentially checks a hash ring of connected
+workers to see if any is available to run the library" and, when all
+workers are saturated with other libraries, "when the manager is
+scheduling an invocation from another library and finds a library on a
+worker with no slots being actively used (an empty library), the manager
+instructs the worker to remove that library and reclaim resources."
+
+All classes here are pure bookkeeping — no sockets — so the policy is
+unit-testable and shared by the real engine and the simulator.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right, insort
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.engine.resources import ResourcePool, Resources
+from repro.errors import SchedulingError
+from repro.util.hashing import content_hash
+
+
+class HashRing:
+    """Consistent hash ring over worker names.
+
+    ``walk(key)`` yields every worker once, starting from the ring
+    position of ``key`` — the scan order the manager uses so different
+    libraries start their placement search at different workers and
+    spread load.
+    """
+
+    def __init__(self) -> None:
+        self._points: List[Tuple[int, str]] = []
+        self._names: set[str] = set()
+
+    @staticmethod
+    def _position(name: str) -> int:
+        return int(content_hash("ring", name)[:16], 16)
+
+    def add(self, name: str) -> None:
+        if name in self._names:
+            raise SchedulingError(f"worker {name!r} already on ring")
+        insort(self._points, (self._position(name), name))
+        self._names.add(name)
+
+    def remove(self, name: str) -> None:
+        if name not in self._names:
+            raise SchedulingError(f"worker {name!r} not on ring")
+        self._points = [(p, n) for (p, n) in self._points if n != name]
+        self._names.discard(name)
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._names
+
+    def walk(self, key: str) -> Iterator[str]:
+        if not self._points:
+            return
+        start = bisect_right(self._points, (self._position(key), chr(0x10FFFF)))
+        n = len(self._points)
+        for i in range(n):
+            yield self._points[(start + i) % n][1]
+
+
+@dataclass
+class LibraryInstance:
+    """One deployed copy of a library on a worker."""
+
+    library_name: str
+    worker: str
+    instance_id: int
+    slots: int
+    resources: Resources
+    used_slots: int = 0
+    ready: bool = False
+    total_served: int = 0  # share value: invocations completed by this instance
+
+    @property
+    def free_slots(self) -> int:
+        return self.slots - self.used_slots if self.ready else 0
+
+    @property
+    def idle(self) -> bool:
+        return self.used_slots == 0
+
+
+@dataclass
+class WorkerSlot:
+    """Scheduler's view of one worker."""
+
+    name: str
+    pool: ResourcePool
+    libraries: Dict[int, LibraryInstance] = field(default_factory=dict)
+    running_tasks: int = 0
+
+    def instances_of(self, library_name: str) -> List[LibraryInstance]:
+        return [li for li in self.libraries.values() if li.library_name == library_name]
+
+
+class Placement:
+    """Cluster-wide placement state and decisions."""
+
+    def __init__(self) -> None:
+        self.ring = HashRing()
+        self.workers: Dict[str, WorkerSlot] = {}
+        self._next_instance = 1
+
+    # -- membership -------------------------------------------------------
+    def add_worker(self, name: str, total: Resources) -> None:
+        if name in self.workers:
+            raise SchedulingError(f"worker {name!r} already known")
+        self.workers[name] = WorkerSlot(name=name, pool=ResourcePool(total))
+        self.ring.add(name)
+
+    def remove_worker(self, name: str) -> WorkerSlot:
+        slot = self.workers.pop(name, None)
+        if slot is None:
+            raise SchedulingError(f"worker {name!r} not known")
+        self.ring.remove(name)
+        return slot
+
+    # -- library lifecycle --------------------------------------------------
+    def place_library(
+        self, library_name: str, slots: int, resources: Resources
+    ) -> Optional[Tuple[str, int]]:
+        """Choose a worker for a new library instance; commit resources.
+
+        Returns (worker, instance_id) or ``None`` when nothing fits.
+        """
+        for wname in self.ring.walk(library_name):
+            slot = self.workers[wname]
+            if slot.pool.can_allocate(resources):
+                slot.pool.allocate(resources)
+                iid = self._next_instance
+                self._next_instance += 1
+                slot.libraries[iid] = LibraryInstance(
+                    library_name=library_name,
+                    worker=wname,
+                    instance_id=iid,
+                    slots=slots,
+                    resources=resources,
+                )
+                return wname, iid
+        return None
+
+    def library_ready(self, worker: str, instance_id: int) -> None:
+        self.workers[worker].libraries[instance_id].ready = True
+
+    def remove_library(self, worker: str, instance_id: int) -> LibraryInstance:
+        slot = self.workers[worker]
+        inst = slot.libraries.pop(instance_id, None)
+        if inst is None:
+            raise SchedulingError(f"no library instance {instance_id} on {worker}")
+        if inst.used_slots:
+            raise SchedulingError("cannot remove a library with active invocations")
+        slot.pool.release(inst.resources)
+        return inst
+
+    # -- invocation placement ------------------------------------------------
+    def find_invocation_slot(self, library_name: str) -> Optional[LibraryInstance]:
+        """A ready instance of ``library_name`` with a free slot, ring order."""
+        for wname in self.ring.walk(library_name):
+            for inst in self.workers[wname].instances_of(library_name):
+                if inst.free_slots > 0:
+                    return inst
+        return None
+
+    def find_evictable_library(
+        self, library_name: Optional[str]
+    ) -> Optional[LibraryInstance]:
+        """An idle library instance eligible for eviction.
+
+        This is the paper's empty-library reclamation: the victim must be
+        ready (otherwise it may be warming up for queued invocations) and
+        serving zero invocations.  When scheduling an invocation,
+        ``library_name`` excludes instances of the wanted library itself;
+        when scheduling a regular task (``library_name=None``) any idle
+        library may be reclaimed.
+        """
+        for slot in self.workers.values():
+            for inst in slot.libraries.values():
+                if inst.library_name == library_name:
+                    continue
+                if inst.ready and inst.idle:
+                    return inst
+        return None
+
+    def start_invocation(self, inst: LibraryInstance) -> None:
+        if inst.free_slots <= 0:
+            raise SchedulingError("library instance has no free slot")
+        inst.used_slots += 1
+
+    def finish_invocation(self, inst: LibraryInstance) -> None:
+        if inst.used_slots <= 0:
+            raise SchedulingError("no invocation in flight on this instance")
+        inst.used_slots -= 1
+        inst.total_served += 1
+
+    # -- plain task placement -----------------------------------------------
+    def place_task(self, key: str, resources: Resources) -> Optional[str]:
+        """Choose a worker for a regular task; commit its resources."""
+        for wname in self.ring.walk(key):
+            slot = self.workers[wname]
+            if slot.pool.can_allocate(resources):
+                slot.pool.allocate(resources)
+                slot.running_tasks += 1
+                return wname
+        return None
+
+    def finish_task(self, worker: str, resources: Resources) -> None:
+        slot = self.workers[worker]
+        if slot.running_tasks <= 0:
+            raise SchedulingError(f"no running task on {worker}")
+        slot.running_tasks -= 1
+        slot.pool.release(resources)
+
+    # -- metrics --------------------------------------------------------------
+    def deployed_library_count(self) -> int:
+        return sum(len(w.libraries) for w in self.workers.values())
+
+    def mean_share_value(self) -> float:
+        served = [
+            inst.total_served
+            for w in self.workers.values()
+            for inst in w.libraries.values()
+        ]
+        if not served:
+            return 0.0
+        return sum(served) / len(served)

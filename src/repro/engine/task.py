@@ -1,0 +1,179 @@
+"""Task, library, and invocation abstractions (paper Table 1, §3.5).
+
+* :class:`PythonTask` — the *task* execution model: stateless, carries
+  code + data + arguments, executed by a fresh interpreter per run.
+* :class:`LibraryTask` — the special daemon task created from a
+  :class:`~repro.discover.context.FunctionContext`; it "does no actual
+  work and cooperates with the worker process to invoke functions".
+* :class:`FunctionCall` — the *invocation* execution model: names a
+  library and function, carries only arguments.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.discover.context import FunctionContext
+from repro.engine.files import VineFile
+from repro.engine.resources import Resources
+from repro.errors import EngineError, TaskFailure
+
+_task_ids = itertools.count(1)
+
+
+class TaskState(enum.Enum):
+    CREATED = "created"
+    SUBMITTED = "submitted"     # known to the manager, waiting for placement
+    DISPATCHED = "dispatched"   # sent to a worker
+    DONE = "done"               # result retrieved
+    FAILED = "failed"
+
+
+class ExecMode(enum.Enum):
+    """Invocation execution inside a library (paper §3.4 step 4)."""
+
+    DIRECT = "direct"
+    FORK = "fork"
+
+
+class Task:
+    """Base class: identity, state, inputs, result plumbing."""
+
+    def __init__(self) -> None:
+        self.id: int = next(_task_ids)
+        self.state: TaskState = TaskState.CREATED
+        self.inputs: List[VineFile] = []
+        self.worker: Optional[str] = None
+        self._result: Any = None
+        self._exception: Optional[BaseException] = None
+        # Timestamps for overhead breakdowns (monotonic seconds).
+        self.timeline: Dict[str, float] = {}
+
+    def add_input(self, f: VineFile) -> None:
+        if self.state is not TaskState.CREATED:
+            raise EngineError("inputs can only be added before submission")
+        self.inputs.append(f)
+
+    # -- result protocol --------------------------------------------------
+    @property
+    def successful(self) -> bool:
+        return self.state is TaskState.DONE and self._exception is None
+
+    def set_result(self, value: Any) -> None:
+        self._result = value
+        self.state = TaskState.DONE
+
+    def set_exception(self, exc: BaseException) -> None:
+        self._exception = exc
+        self.state = TaskState.FAILED
+
+    @property
+    def result(self) -> Any:
+        """The task's return value; raises the remote failure if it failed."""
+        if self._exception is not None:
+            raise self._exception
+        if self.state is not TaskState.DONE:
+            raise EngineError(f"task {self.id} has no result yet (state={self.state.value})")
+        return self._result
+
+    @property
+    def exception(self) -> Optional[BaseException]:
+        return self._exception
+
+    def mark(self, event: str, t: float) -> None:
+        self.timeline[event] = t
+
+    def span(self, start: str, end: str) -> float:
+        """Elapsed seconds between two recorded timeline events."""
+        try:
+            return self.timeline[end] - self.timeline[start]
+        except KeyError as exc:
+            raise EngineError(f"timeline missing event {exc}") from None
+
+
+class PythonTask(Task):
+    """A self-contained task: function + arguments serialized together.
+
+    Every execution pays full context reload in a fresh interpreter —
+    this is reuse level L1/L2 depending on whether its input files are
+    cached on the worker.
+    """
+
+    def __init__(self, fn: Callable[..., Any], *args: Any, **kwargs: Any):
+        super().__init__()
+        if not callable(fn):
+            raise EngineError("PythonTask needs a callable")
+        self.fn = fn
+        self.args = args
+        self.kwargs = kwargs
+        self.resources = Resources(cores=1)
+        self.function_name = getattr(fn, "__name__", "<callable>")
+        self.environment: Optional[VineFile] = None
+
+    def set_resources(self, resources: Resources) -> None:
+        self.resources = resources
+
+    def set_environment(self, env_package: VineFile) -> None:
+        """Attach an environment package (tar.gz built by
+        :func:`repro.discover.packaging.pack_environment`).  The worker
+        unpacks it once into its cache; every task naming the same package
+        reuses the unpacked tree — this is the L2 disk-reuse path."""
+        self.environment = env_package
+
+
+class LibraryTask(Task):
+    """The daemon task hosting a function context on a worker.
+
+    ``function_slots`` bounds concurrent invocations served by one
+    instance; ``exec_mode`` selects direct or fork execution.  A library
+    "by default takes all resources of a worker, but it can be configured
+    to run on a portion of a worker" — here the default is 1 core so the
+    local test cluster can host several.
+    """
+
+    def __init__(
+        self,
+        context: FunctionContext,
+        *,
+        function_slots: int = 1,
+        resources: Resources | None = None,
+        exec_mode: ExecMode = ExecMode.DIRECT,
+    ):
+        super().__init__()
+        if function_slots < 1:
+            raise EngineError("a library needs at least one invocation slot")
+        self.context = context
+        self.name = context.name
+        self.function_slots = function_slots
+        self.resources = resources or Resources(cores=1)
+        self.exec_mode = exec_mode
+
+    def provides(self, function_name: str) -> bool:
+        return function_name in self.context.functions
+
+
+class FunctionCall(Task):
+    """An invocation: library name, function name, and arguments only."""
+
+    def __init__(self, library_name: str, function_name: str, *args: Any, **kwargs: Any):
+        super().__init__()
+        if not library_name or not function_name:
+            raise EngineError("FunctionCall needs library and function names")
+        self.library_name = library_name
+        self.function_name = function_name
+        self.args = args
+        self.kwargs = kwargs
+        self.exec_mode: Optional[ExecMode] = None  # None = library default
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FunctionCall({self.library_name}.{self.function_name}, id={self.id})"
+
+
+def failure_from_message(message: dict) -> TaskFailure:
+    """Build a :class:`TaskFailure` from a remote error report."""
+    return TaskFailure(
+        message.get("error", "remote execution failed"),
+        remote_traceback=message.get("traceback"),
+    )

@@ -1,0 +1,73 @@
+"""Entry point for *task-mode* execution (``python -m repro.engine.task_runner``).
+
+This is the paper's "naive transformation": a generic wrapper script that
+deserializes the function with its arguments from a file, reconstructs
+the context from scratch, executes, and writes the result — paying the
+full context-reload cost on every run.  The worker spawns one fresh
+interpreter per :class:`~repro.engine.task.PythonTask`.
+
+Exit code 0 means the wrapper itself worked (the function may still have
+raised — that failure travels inside the result file).  Nonzero exit
+means infrastructure failure.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+import traceback
+
+
+def run(sandbox: str, env_dir: str | None) -> int:
+    started = time.monotonic()
+    if env_dir:
+        sys.path.insert(0, env_dir)
+    os.chdir(sandbox)
+    # Import after sys.path adjustment so the shipped environment wins.
+    from repro.serialize.core import deserialize_from_file, serialize_to_file
+    from repro.engine.sandbox import ARGS_FILE, RESULT_FILE
+
+    try:
+        spec = deserialize_from_file(os.path.join(sandbox, ARGS_FILE))
+        fn = spec["code"].reconstruct()
+        args = spec.get("args", ())
+        kwargs = spec.get("kwargs", {})
+    except Exception:
+        sys.stderr.write(traceback.format_exc())
+        return 2
+    reload_overhead = time.monotonic() - started
+    exec_started = time.monotonic()
+    try:
+        value = fn(*args, **kwargs)
+        outcome = {"ok": True, "value": value}
+    except BaseException as exc:  # report the function's failure, any kind
+        outcome = {
+            "ok": False,
+            "error": f"{type(exc).__name__}: {exc}",
+            "traceback": traceback.format_exc(),
+        }
+    outcome["times"] = {
+        "reload_overhead": reload_overhead,
+        "exec_time": time.monotonic() - exec_started,
+    }
+    try:
+        serialize_to_file(outcome, os.path.join(sandbox, RESULT_FILE))
+    except Exception:
+        sys.stderr.write(traceback.format_exc())
+        return 3
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if not argv:
+        sys.stderr.write("usage: task_runner SANDBOX [ENV_DIR]\n")
+        return 64
+    sandbox = argv[0]
+    env_dir = argv[1] if len(argv) > 1 else None
+    return run(sandbox, env_dir)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,627 @@
+"""Worker-side logic: task execution, library hosting, caching, peer serving.
+
+A worker is a single-threaded event loop (plus one thread serving peer
+file transfers) that:
+
+* maintains a content-addressed :class:`~repro.engine.cache.WorkerCache`;
+* executes :class:`~repro.engine.task.PythonTask` work as fresh
+  ``task_runner`` subprocesses (task mode — context reload every time);
+* hosts library processes that retain function contexts, forwarding
+  invocations to them over per-library Unix sockets (invocation mode);
+* serves cached files to peer workers (Figure 3b spanning-tree transfers).
+
+Messages are processed in arrival order, so a ``put_file`` that precedes
+a ``task`` is guaranteed visible by execution time — the manager relies
+on this to stage inputs without an extra round trip.
+"""
+
+from __future__ import annotations
+
+import os
+import selectors
+import shutil
+import socket
+import subprocess
+import sys
+import threading
+import time
+import traceback
+import uuid
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.discover.packaging import unpack_environment
+from repro.engine import messages
+from repro.engine.cache import WorkerCache
+from repro.engine.resources import Resources
+from repro.engine.sandbox import ARGS_FILE, RESULT_FILE, Sandbox
+from repro.errors import CacheError, EngineError, ProtocolError
+from repro.util.logging import get_logger
+
+
+@dataclass
+class _RunningTask:
+    task_id: int
+    proc: subprocess.Popen
+    sandbox: Sandbox
+    staging_time: float
+    env_time: float
+    started: float
+
+
+@dataclass
+class _LibraryHandle:
+    instance_id: int
+    library_name: str
+    sandbox_dir: str
+    socket_path: str
+    listener: socket.socket
+    proc: subprocess.Popen
+    worker_overhead: float
+    conn: Optional[messages.Connection] = None
+    ready: bool = False
+    pending: List[tuple] = field(default_factory=list)  # queued invokes
+    invocations: Dict[int, Sandbox] = field(default_factory=dict)
+    staging: Dict[int, float] = field(default_factory=dict)
+
+
+class _TransferServer(threading.Thread):
+    """Serves ``get``-by-hash requests to peer workers from the cache dir.
+
+    Runs as a daemon thread: only ever *reads* completed (atomically
+    renamed) cache files, so it needs no lock against the main loop.
+    """
+
+    def __init__(self, cache_root: str):
+        super().__init__(daemon=True, name="peer-transfer-server")
+        self.cache_root = cache_root
+        self.sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self.sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self.sock.bind(("127.0.0.1", 0))
+        self.sock.listen(16)
+        self.port = self.sock.getsockname()[1]
+        self.bytes_served = 0
+        self.requests_served = 0
+        self._stop = threading.Event()
+
+    def run(self) -> None:
+        self.sock.settimeout(0.2)
+        while not self._stop.is_set():
+            try:
+                client, _ = self.sock.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return
+            try:
+                conn = messages.Connection(client, name="peer")
+                request, _ = conn.receive(timeout=5.0)
+                digest = str(request.get("hash", ""))
+                path = os.path.join(self.cache_root, digest)
+                if request.get("type") == "get" and os.path.isfile(path):
+                    with open(path, "rb") as fh:
+                        data = fh.read()
+                    conn.send({"type": "data", "ok": True}, data)
+                    self.bytes_served += len(data)
+                    self.requests_served += 1
+                else:
+                    conn.send({"type": "data", "ok": False, "error": "not cached"})
+            except Exception:
+                pass
+            finally:
+                client.close()
+
+    def stop(self) -> None:
+        self._stop.set()
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+
+class Worker:
+    """One worker node of the execution engine."""
+
+    def __init__(
+        self,
+        manager_host: str,
+        manager_port: int,
+        *,
+        name: str,
+        cores: int = 4,
+        memory: int = 4096,
+        disk: int = 4096,
+        workdir: str,
+        cache_capacity: Optional[int] = None,
+    ):
+        self.name = name
+        self.resources = Resources(cores=cores, memory=memory, disk=disk)
+        self.workdir = os.path.abspath(workdir)
+        os.makedirs(self.workdir, exist_ok=True)
+        self.cache = WorkerCache(
+            os.path.join(self.workdir, "cache"),
+            cache_capacity,
+            on_evict=self._report_eviction,
+        )
+        self.sandbox_root = os.path.join(self.workdir, "sandboxes")
+        os.makedirs(self.sandbox_root, exist_ok=True)
+        self.env_root = os.path.join(self.workdir, "envs")
+        os.makedirs(self.env_root, exist_ok=True)
+        self.transfer_server = _TransferServer(self.cache.root)
+        self.manager = messages.connect(manager_host, manager_port, name="manager")
+        self.tasks: Dict[int, _RunningTask] = {}
+        self.libraries: Dict[int, _LibraryHandle] = {}
+        self.selector = selectors.DefaultSelector()
+        self._running = True
+        self.log = get_logger(f"worker.{name}")
+
+    def _report_eviction(self, digest: str) -> None:
+        """Keep the manager's replica map truthful when the LRU evicts."""
+        try:
+            self.manager.send(
+                {"type": "cache_update", "hash": digest, "present": False}
+            )
+        except ProtocolError:
+            pass  # manager is already gone; shutdown will follow
+
+    # -- lifecycle ----------------------------------------------------------
+    def register(self) -> None:
+        self.transfer_server.start()
+        self.manager.send(
+            {
+                "type": "register",
+                "worker": self.name,
+                "resources": self.resources.to_dict(),
+                "transfer_host": "127.0.0.1",
+                "transfer_port": self.transfer_server.port,
+            }
+        )
+        reply, _ = self.manager.receive(timeout=30.0)
+        messages.expect(reply, "welcome")
+        self.log.info("registered with manager (%s)", self.resources)
+
+    def run(self) -> None:
+        """Main loop: serve until the manager says shutdown or disconnects."""
+        self.register()
+        self.selector.register(self.manager.sock, selectors.EVENT_READ, ("manager", None))
+        last_status = 0.0
+        try:
+            while self._running:
+                events = self.selector.select(timeout=0.02)
+                for key, _ in events:
+                    kind, ref = key.data
+                    if kind == "manager":
+                        self._handle_manager_message()
+                    elif kind == "lib-listener":
+                        self._accept_library(ref)
+                    elif kind == "lib-conn":
+                        self._handle_library_message(ref)
+                self._poll_tasks()
+                now = time.monotonic()
+                if now - last_status >= 2.0:
+                    self._send_status()
+                    last_status = now
+        except ProtocolError:
+            pass  # manager went away; shut down quietly
+        finally:
+            self.shutdown()
+
+    def _send_status(self) -> None:
+        """Periodic resource-accounting report (§2.1.3): cache occupancy,
+        in-flight tasks, and hosted libraries."""
+        report = {
+            "cache": self.cache.stats(),
+            "running_tasks": len(self.tasks),
+            "libraries": len(self.libraries),
+            "ready_libraries": sum(1 for h in self.libraries.values() if h.ready),
+            "active_invocations": sum(
+                len(h.invocations) for h in self.libraries.values()
+            ),
+            "peer_bytes_served": self.transfer_server.bytes_served,
+        }
+        self.manager.send({"type": "status", "report": report})
+
+    def shutdown(self) -> None:
+        self._running = False
+        for handle in list(self.libraries.values()):
+            self._terminate_library(handle)
+        for running in list(self.tasks.values()):
+            if running.proc.poll() is None:
+                running.proc.terminate()
+        self.transfer_server.stop()
+        self.manager.close()
+
+    # -- manager messages ------------------------------------------------------
+    def _handle_manager_message(self) -> None:
+        message, payload = self.manager.receive(timeout=10.0)
+        mtype = message["type"]
+        handler = getattr(self, f"_on_{mtype}", None)
+        if handler is None:
+            raise ProtocolError(f"unknown manager message {mtype!r}")
+        handler(message, payload)
+
+    def _on_shutdown(self, message: dict, payload: bytes) -> None:
+        self._running = False
+
+    def _on_put_file(self, message: dict, payload: bytes) -> None:
+        digest = message["hash"]
+        self.cache.insert_bytes(digest, payload)
+        self.manager.send({"type": "cache_update", "hash": digest, "present": True})
+
+    def _on_transfer(self, message: dict, payload: bytes) -> None:
+        """Fetch a file from a peer worker (synchronous; peers serve from a thread)."""
+        digest = message["hash"]
+        if digest in self.cache:
+            self.manager.send({"type": "cache_update", "hash": digest, "present": True})
+            return
+        try:
+            peer = messages.connect(message["host"], int(message["port"]), name="peer")
+            try:
+                peer.send({"type": "get", "hash": digest})
+                reply, data = peer.receive(timeout=60.0)
+            finally:
+                peer.close()
+            if not reply.get("ok"):
+                raise EngineError(reply.get("error", "peer refused"))
+            self.cache.insert_bytes(digest, data)
+            self.manager.send({"type": "cache_update", "hash": digest, "present": True})
+        except Exception as exc:
+            self.manager.send(
+                {
+                    "type": "cache_update",
+                    "hash": digest,
+                    "present": False,
+                    "error": f"{type(exc).__name__}: {exc}",
+                }
+            )
+
+    def _on_unlink(self, message: dict, payload: bytes) -> None:
+        try:
+            self.cache.remove(message["hash"])
+        except CacheError:
+            pass
+        self.manager.send({"type": "cache_update", "hash": message["hash"], "present": False})
+
+    def _ensure_environment(self, env_hash: Optional[str]) -> tuple[Optional[str], float]:
+        """Unpack a cached environment package once; return (dir, seconds_spent)."""
+        if not env_hash:
+            return None, 0.0
+        dir_key = f"{env_hash}.unpacked"
+        env_dir = os.path.join(self.env_root, env_hash)
+        if dir_key in self.cache:
+            self.cache.probe(dir_key)
+            return env_dir, 0.0
+        started = time.monotonic()
+        package_path = self.cache.path_of(env_hash)
+        unpack_environment(package_path, env_dir)
+        size = sum(
+            os.path.getsize(os.path.join(dp, f))
+            for dp, _, fns in os.walk(env_dir)
+            for f in fns
+        )
+        self.cache.register_dir(dir_key, env_dir, size)
+        return env_dir, time.monotonic() - started
+
+    def _stage_inputs(self, sandbox: Sandbox, inputs: List[dict]) -> float:
+        started = time.monotonic()
+        for item in inputs:
+            sandbox.stage(self.cache.path_of(item["hash"]), item["name"])
+        return time.monotonic() - started
+
+    def _on_task(self, message: dict, payload: bytes) -> None:
+        task_id = int(message["task_id"])
+        sandbox = Sandbox(self.sandbox_root, f"task-{task_id}-{uuid.uuid4().hex[:6]}")
+        try:
+            env_dir, env_time = self._ensure_environment(message.get("env_hash"))
+            staging = self._stage_inputs(sandbox, message.get("inputs", []))
+            sandbox.write(ARGS_FILE, payload)
+            cmd = [sys.executable, "-m", "repro.engine.task_runner", sandbox.path]
+            if env_dir:
+                cmd.append(env_dir)
+            proc = subprocess.Popen(
+                cmd, stdout=subprocess.DEVNULL, stderr=subprocess.PIPE, cwd=sandbox.path
+            )
+        except Exception as exc:
+            sandbox.destroy()
+            self.manager.send(
+                {
+                    "type": "task_failed",
+                    "task_id": task_id,
+                    "error": f"{type(exc).__name__}: {exc}",
+                    "traceback": traceback.format_exc(),
+                }
+            )
+            return
+        self.tasks[task_id] = _RunningTask(
+            task_id, proc, sandbox, staging, env_time, time.monotonic()
+        )
+
+    def _on_library(self, message: dict, payload: bytes) -> None:
+        instance_id = int(message["instance_id"])
+        started = time.monotonic()
+        sandbox_dir = os.path.join(self.workdir, "libraries", f"inst-{instance_id}")
+        try:
+            os.makedirs(sandbox_dir)
+            env_dir, _ = self._ensure_environment(message.get("env_hash"))
+            for item in message.get("inputs", []):
+                dest = os.path.join(sandbox_dir, item["name"])
+                try:
+                    os.link(self.cache.path_of(item["hash"]), dest)
+                except OSError:
+                    shutil.copyfile(self.cache.path_of(item["hash"]), dest)
+            spec_path = os.path.join(sandbox_dir, message["spec_name"])
+            socket_path = f"/tmp/repro-{os.getpid()}-{instance_id}.sock"
+            if os.path.exists(socket_path):
+                os.unlink(socket_path)
+            listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            listener.bind(socket_path)
+            listener.listen(1)
+            listener.setblocking(False)
+            cmd = [
+                sys.executable,
+                "-m",
+                "repro.engine.library_main",
+                "--spec",
+                spec_path,
+                "--socket",
+                socket_path,
+                "--sandbox",
+                sandbox_dir,
+            ]
+            if env_dir:
+                cmd.extend(["--env-dir", env_dir])
+            proc = subprocess.Popen(
+                cmd, stdout=subprocess.DEVNULL, stderr=subprocess.PIPE
+            )
+        except Exception as exc:
+            shutil.rmtree(sandbox_dir, ignore_errors=True)
+            self.manager.send(
+                {
+                    "type": "library_failed",
+                    "instance_id": instance_id,
+                    "error": f"{type(exc).__name__}: {exc}",
+                    "traceback": traceback.format_exc(),
+                }
+            )
+            return
+        self.log.debug("starting library instance %d (%s)", instance_id, message["library_name"])
+        handle = _LibraryHandle(
+            instance_id=instance_id,
+            library_name=message["library_name"],
+            sandbox_dir=sandbox_dir,
+            socket_path=socket_path,
+            listener=listener,
+            proc=proc,
+            worker_overhead=time.monotonic() - started,
+        )
+        self.libraries[instance_id] = handle
+        self.selector.register(listener, selectors.EVENT_READ, ("lib-listener", handle))
+
+    def _accept_library(self, handle: _LibraryHandle) -> None:
+        try:
+            client, _ = handle.listener.accept()
+        except BlockingIOError:
+            return
+        client.setblocking(True)
+        handle.conn = messages.Connection(client, name=f"library-{handle.instance_id}")
+        self.selector.unregister(handle.listener)
+        handle.listener.close()
+        self.selector.register(client, selectors.EVENT_READ, ("lib-conn", handle))
+
+    def _on_invocation(self, message: dict, payload: bytes) -> None:
+        task_id = int(message["task_id"])
+        instance_id = int(message["instance_id"])
+        handle = self.libraries.get(instance_id)
+        if handle is None:
+            self.manager.send(
+                {
+                    "type": "task_failed",
+                    "task_id": task_id,
+                    "error": f"no library instance {instance_id} on this worker",
+                }
+            )
+            return
+        staging_started = time.monotonic()
+        sandbox = Sandbox(self.sandbox_root, f"invoc-{task_id}-{uuid.uuid4().hex[:6]}")
+        sandbox.write(ARGS_FILE, payload)
+        for item in message.get("inputs", []):
+            sandbox.stage(self.cache.path_of(item["hash"]), item["name"])
+        handle.invocations[task_id] = sandbox
+        handle.staging[task_id] = time.monotonic() - staging_started
+        invoke = (
+            {
+                "type": "invoke",
+                "task_id": task_id,
+                "function": message["function"],
+                "sandbox": sandbox.path,
+                "mode": message.get("mode", "direct"),
+            },
+        )
+        if handle.ready and handle.conn is not None:
+            handle.conn.send(invoke[0])
+        else:
+            handle.pending.append(invoke)
+
+    def _on_cancel(self, message: dict, payload: bytes) -> None:
+        """Kill a running task subprocess at the manager's request."""
+        task_id = int(message["task_id"])
+        running = self.tasks.pop(task_id, None)
+        if running is None:
+            return  # already finished; the result message races the cancel
+        if running.proc.poll() is None:
+            running.proc.terminate()
+            try:
+                running.proc.wait(timeout=5.0)
+            except subprocess.TimeoutExpired:
+                running.proc.kill()
+        running.sandbox.destroy()
+        self.manager.send(
+            {
+                "type": "task_failed",
+                "task_id": task_id,
+                "error": "cancelled by the manager",
+            }
+        )
+
+    def _on_remove_library(self, message: dict, payload: bytes) -> None:
+        instance_id = int(message["instance_id"])
+        handle = self.libraries.get(instance_id)
+        if handle is not None:
+            self._terminate_library(handle)
+        self.manager.send({"type": "library_removed", "instance_id": instance_id})
+
+    # -- library events -----------------------------------------------------------
+    def _handle_library_message(self, handle: _LibraryHandle) -> None:
+        assert handle.conn is not None
+        try:
+            message, _ = handle.conn.receive(timeout=5.0)
+        except (ProtocolError, TimeoutError):
+            self._library_died(handle)
+            return
+        mtype = message.get("type")
+        if mtype == "ready":
+            handle.ready = True
+            self.manager.send(
+                {
+                    "type": "library_ready",
+                    "instance_id": handle.instance_id,
+                    "times": {
+                        "worker_overhead": handle.worker_overhead,
+                        "library_overhead": float(message.get("setup_time", 0.0)),
+                    },
+                }
+            )
+            for invoke in handle.pending:
+                handle.conn.send(invoke[0])
+            handle.pending.clear()
+        elif mtype == "startup_failed":
+            self.manager.send(
+                {
+                    "type": "library_failed",
+                    "instance_id": handle.instance_id,
+                    "error": message.get("error", "library startup failed"),
+                    "traceback": message.get("traceback"),
+                }
+            )
+            self._terminate_library(handle)
+        elif mtype == "complete":
+            self._finish_invocation(handle, message)
+        elif mtype == "bye":
+            pass
+        else:
+            raise ProtocolError(f"unexpected library message {mtype!r}")
+
+    def _finish_invocation(self, handle: _LibraryHandle, message: dict) -> None:
+        task_id = int(message["task_id"])
+        sandbox = handle.invocations.pop(task_id, None)
+        if sandbox is None:
+            return
+        times = dict(message.get("times", {}))
+        times["staging"] = handle.staging.pop(task_id, 0.0)
+        times["worker_overhead"] = 0.0  # context was already resident
+        if sandbox.exists(RESULT_FILE):
+            data = sandbox.read(RESULT_FILE)
+            self.manager.send(
+                {"type": "result", "task_id": task_id, "kind": "invocation", "times": times},
+                data,
+            )
+        else:
+            self.manager.send(
+                {
+                    "type": "task_failed",
+                    "task_id": task_id,
+                    "error": message.get("error", "invocation produced no result"),
+                    "traceback": message.get("traceback"),
+                }
+            )
+        sandbox.destroy()
+
+    def _library_died(self, handle: _LibraryHandle) -> None:
+        stderr = b""
+        if handle.proc.poll() is not None and handle.proc.stderr is not None:
+            stderr = handle.proc.stderr.read() or b""
+        for task_id in list(handle.invocations):
+            self.manager.send(
+                {
+                    "type": "task_failed",
+                    "task_id": task_id,
+                    "error": "library process died",
+                    "traceback": stderr.decode("utf-8", "replace")[-4000:],
+                }
+            )
+            handle.invocations.pop(task_id).destroy()
+        self.manager.send(
+            {
+                "type": "library_failed",
+                "instance_id": handle.instance_id,
+                "error": "library process died",
+                "traceback": stderr.decode("utf-8", "replace")[-4000:],
+            }
+        )
+        self._terminate_library(handle)
+
+    def _terminate_library(self, handle: _LibraryHandle) -> None:
+        if handle.conn is not None:
+            try:
+                self.selector.unregister(handle.conn.sock)
+            except (KeyError, ValueError):
+                pass
+            try:
+                handle.conn.send({"type": "shutdown"})
+            except ProtocolError:
+                pass
+            handle.conn.close()
+        else:
+            try:
+                self.selector.unregister(handle.listener)
+            except (KeyError, ValueError):
+                pass
+            handle.listener.close()
+        if handle.proc.poll() is None:
+            handle.proc.terminate()
+            try:
+                handle.proc.wait(timeout=5.0)
+            except subprocess.TimeoutExpired:
+                handle.proc.kill()
+        if os.path.exists(handle.socket_path):
+            try:
+                os.unlink(handle.socket_path)
+            except OSError:
+                pass
+        for sandbox in handle.invocations.values():
+            sandbox.destroy()
+        shutil.rmtree(handle.sandbox_dir, ignore_errors=True)
+        self.libraries.pop(handle.instance_id, None)
+
+    # -- task subprocess completion ---------------------------------------------
+    def _poll_tasks(self) -> None:
+        for task_id in list(self.tasks):
+            running = self.tasks[task_id]
+            code = running.proc.poll()
+            if code is None:
+                continue
+            del self.tasks[task_id]
+            times: Dict[str, Any] = {
+                "staging": running.staging_time,
+                "worker_overhead": running.env_time,
+                "wall": time.monotonic() - running.started,
+            }
+            if code == 0 and running.sandbox.exists(RESULT_FILE):
+                data = running.sandbox.read(RESULT_FILE)
+                self.manager.send(
+                    {"type": "result", "task_id": task_id, "kind": "task", "times": times},
+                    data,
+                )
+            else:
+                stderr = b""
+                if running.proc.stderr is not None:
+                    stderr = running.proc.stderr.read() or b""
+                self.manager.send(
+                    {
+                        "type": "task_failed",
+                        "task_id": task_id,
+                        "error": f"task runner exited with code {code}",
+                        "traceback": stderr.decode("utf-8", "replace")[-4000:],
+                    }
+                )
+            running.sandbox.destroy()

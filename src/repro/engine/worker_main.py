@@ -1,0 +1,54 @@
+"""Command-line entry point for a worker process.
+
+Spawned by :class:`~repro.engine.factory.LocalWorkerFactory` (or by hand)
+as::
+
+    python -m repro.engine.worker_main --manager 127.0.0.1:9123 \
+        --name worker-0 --cores 4 --memory 4096 --disk 4096 \
+        --workdir /tmp/vine-worker-0
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.engine.worker import Worker
+
+
+def parse_endpoint(text: str) -> tuple[str, int]:
+    host, _, port = text.rpartition(":")
+    if not host or not port.isdigit():
+        raise argparse.ArgumentTypeError(f"expected HOST:PORT, got {text!r}")
+    return host, int(port)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description="repro execution-engine worker")
+    parser.add_argument("--manager", required=True, type=parse_endpoint)
+    parser.add_argument("--name", required=True)
+    parser.add_argument("--cores", type=int, default=4)
+    parser.add_argument("--memory", type=int, default=4096, help="MB")
+    parser.add_argument("--disk", type=int, default=4096, help="MB")
+    parser.add_argument("--workdir", required=True)
+    parser.add_argument(
+        "--cache-capacity", type=int, default=None, help="cache capacity in bytes"
+    )
+    args = parser.parse_args(argv)
+    host, port = args.manager
+    worker = Worker(
+        host,
+        port,
+        name=args.name,
+        cores=args.cores,
+        memory=args.memory,
+        disk=args.disk,
+        workdir=args.workdir,
+        cache_capacity=args.cache_capacity,
+    )
+    worker.run()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

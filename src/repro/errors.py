@@ -1,0 +1,75 @@
+"""Exception hierarchy for the ``repro`` package.
+
+All exceptions raised by this library derive from :class:`ReproError` so
+that callers can catch library failures with a single ``except`` clause
+while still distinguishing subsystems via the subclasses below.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the ``repro`` package."""
+
+
+class SerializationError(ReproError):
+    """A function, argument, or result could not be (de)serialized."""
+
+
+class DiscoveryError(ReproError):
+    """Function-context discovery failed (source, imports, or packaging)."""
+
+
+class PackagingError(DiscoveryError):
+    """An environment package could not be built or unpacked."""
+
+
+class DistributionError(ReproError):
+    """A transfer plan could not be constructed or executed."""
+
+
+class EngineError(ReproError):
+    """Base class for execution-engine failures."""
+
+
+class ProtocolError(EngineError):
+    """A malformed or unexpected message crossed a manager/worker/library link."""
+
+
+class WorkerError(EngineError):
+    """A worker process failed or disconnected unexpectedly."""
+
+
+class LibraryError(EngineError):
+    """A library (context daemon) failed to start, serve, or shut down."""
+
+
+class TaskFailure(EngineError):
+    """A task or invocation raised an exception on the remote side.
+
+    The remote traceback, when available, is carried in ``remote_traceback``.
+    """
+
+    def __init__(self, message: str, remote_traceback: str | None = None):
+        super().__init__(message)
+        self.remote_traceback = remote_traceback
+
+
+class ResourceError(EngineError):
+    """A resource request cannot be satisfied (cores/memory/disk/slots)."""
+
+
+class SchedulingError(EngineError):
+    """No placement exists for a task/library under current constraints."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator reached an inconsistent state."""
+
+
+class DataflowError(ReproError):
+    """The mini-Parsl dataflow layer failed (cycles, missing deps, etc.)."""
+
+
+class CacheError(EngineError):
+    """A worker cache operation failed (missing object, over-capacity pin)."""

@@ -1,0 +1,34 @@
+"""A miniature Parsl: decorated Python apps, dataflow futures, executors.
+
+The paper integrates TaskVine under Parsl as the ``TaskVineExecutor``
+(§3.6): Parsl maintains the DAG of invocations and streams ready ones to
+the executor service.  This subpackage reproduces that stack:
+
+* :func:`python_app` — decorator turning a function into an
+  asynchronously-invoked app returning an :class:`AppFuture`;
+* :class:`DataFlowKernel` — tracks inter-app dependencies (futures
+  passed as arguments) and launches apps when their inputs resolve;
+* :class:`VineExecutor` — the TaskVineExecutor analog: a service thread
+  owning a :class:`repro.engine.Manager`, forwarding ready invocations
+  as ``FunctionCall``s (invocation mode) or ``PythonTask``s (task mode);
+* :class:`LocalExecutor` — an in-process thread-pool executor for tests
+  and quick runs.
+"""
+
+from repro.flow.futures import AppFuture
+from repro.flow.dataflow import DataFlowKernel
+from repro.flow.executor import ExecutionMode, LocalExecutor, VineExecutor
+from repro.flow.app import python_app
+from repro.flow.delayed import Delayed, compute, delayed
+
+__all__ = [
+    "AppFuture",
+    "DataFlowKernel",
+    "VineExecutor",
+    "LocalExecutor",
+    "ExecutionMode",
+    "python_app",
+    "Delayed",
+    "delayed",
+    "compute",
+]

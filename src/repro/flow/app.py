@@ -1,0 +1,58 @@
+"""The ``@python_app`` decorator.
+
+Mirrors Parsl's programming model: decorating a function makes calling
+it asynchronous — the call returns an :class:`AppFuture` immediately and
+the body runs on the bound executor once all argument futures resolve::
+
+    dfk = DataFlowKernel(VineExecutor(workers=2))
+
+    @python_app(dfk)
+    def double(x):
+        return 2 * x
+
+    y = double(double(10))   # chains through futures
+    assert y.result() == 40
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Any, Callable
+
+from repro.errors import DataflowError
+from repro.flow.dataflow import DataFlowKernel
+from repro.flow.futures import AppFuture
+
+
+def python_app(
+    dfk: DataFlowKernel | None = None,
+) -> Callable[[Callable[..., Any]], Callable[..., AppFuture]]:
+    """Bind a function to a dataflow kernel as an asynchronous app.
+
+    The kernel may also be injected later via the returned wrapper's
+    ``bind(dfk)`` method, letting modules define apps at import time and
+    applications choose an executor at run time.
+    """
+
+    def decorator(fn: Callable[..., Any]) -> Callable[..., AppFuture]:
+        state = {"dfk": dfk}
+
+        @functools.wraps(fn)
+        def wrapper(*args: Any, **kwargs: Any) -> AppFuture:
+            kernel = state["dfk"]
+            if kernel is None:
+                raise DataflowError(
+                    f"app {fn.__name__!r} is not bound to a DataFlowKernel; "
+                    "call .bind(dfk) first"
+                )
+            return kernel.submit(fn, *args, **kwargs)
+
+        def bind(kernel: DataFlowKernel) -> Callable[..., AppFuture]:
+            state["dfk"] = kernel
+            return wrapper
+
+        wrapper.bind = bind  # type: ignore[attr-defined]
+        wrapper.__wrapped__ = fn
+        return wrapper
+
+    return decorator

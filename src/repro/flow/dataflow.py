@@ -1,0 +1,133 @@
+"""The dataflow kernel: DAG construction from futures-as-arguments.
+
+"Parsl maintains the DAG of invocations and sends ready ones to
+TaskVine" — here, every :class:`AppFuture` passed as an argument is a
+dependency edge; an app launches on its executor the moment its last
+input future resolves.  A failed dependency propagates a
+:class:`~repro.errors.DataflowError` without launching the dependent.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Tuple
+
+from repro.errors import DataflowError
+from repro.flow.futures import AppFuture, iter_futures, resolve_value
+
+
+@dataclass
+class _AppRecord:
+    fn: Callable[..., Any]
+    args: Tuple[Any, ...]
+    kwargs: Dict[str, Any]
+    future: AppFuture
+    remaining: int
+    lock: threading.Lock = field(default_factory=threading.Lock)
+    launched: bool = False
+    failed_dep: BaseException | None = None
+
+
+class DataFlowKernel:
+    """Tracks app dependencies and forwards ready apps to an executor.
+
+    The executor must expose ``submit_resolved(fn, args, kwargs) ->
+    Future``; completion of that inner future resolves the app future.
+    """
+
+    def __init__(self, executor: Any):
+        self.executor = executor
+        self._ids = itertools.count(1)
+        self._outstanding = 0
+        self._all_done = threading.Condition()
+
+    # ------------------------------------------------------------------ API
+    def submit(self, fn: Callable[..., Any], *args: Any, **kwargs: Any) -> AppFuture:
+        """Register one app invocation; returns its future immediately."""
+        app_id = next(self._ids)
+        future = AppFuture(app_name=getattr(fn, "__name__", "<app>"), app_id=app_id)
+        all_deps = list(
+            itertools.chain(iter_futures(list(args)), iter_futures(kwargs))
+        )
+        deps = [f for f in all_deps if not f.done()]
+        # A dependency that already failed poisons this app the same way a
+        # late failure would — consistent DataflowError either way.
+        already_failed = next(
+            (f.exception() for f in all_deps if f.done() and f.exception()), None
+        )
+        record = _AppRecord(
+            fn=fn, args=args, kwargs=kwargs, future=future, remaining=len(deps)
+        )
+        with self._all_done:
+            self._outstanding += 1
+        future.add_done_callback(lambda _: self._retire())
+        if already_failed is not None:
+            future.set_exception(
+                DataflowError(
+                    f"dependency of {future.app_name} failed: {already_failed}"
+                )
+            )
+            return future
+        if not deps:
+            self._launch(record)
+            return future
+        for dep in deps:
+            dep.add_done_callback(lambda d, r=record: self._dep_resolved(r, d))
+        return future
+
+    def wait_all(self, timeout: float | None = None) -> None:
+        """Block until every submitted app has completed (or failed)."""
+        with self._all_done:
+            if not self._all_done.wait_for(
+                lambda: self._outstanding == 0, timeout=timeout
+            ):
+                raise DataflowError(
+                    f"timed out with {self._outstanding} apps outstanding"
+                )
+
+    # -------------------------------------------------------------- internals
+    def _retire(self) -> None:
+        with self._all_done:
+            self._outstanding -= 1
+            if self._outstanding == 0:
+                self._all_done.notify_all()
+
+    def _dep_resolved(self, record: _AppRecord, dep: Any) -> None:
+        with record.lock:
+            if dep.exception() is not None and record.failed_dep is None:
+                record.failed_dep = dep.exception()
+            record.remaining -= 1
+            ready = record.remaining == 0 and not record.launched
+            if ready:
+                record.launched = True
+        if ready:
+            if record.failed_dep is not None:
+                record.future.set_exception(
+                    DataflowError(
+                        f"dependency of {record.future.app_name} failed: "
+                        f"{record.failed_dep}"
+                    )
+                )
+            else:
+                self._launch(record)
+
+    def _launch(self, record: _AppRecord) -> None:
+        record.launched = True
+        try:
+            args = tuple(resolve_value(a) for a in record.args)
+            kwargs = {k: resolve_value(v) for k, v in record.kwargs.items()}
+            inner = self.executor.submit_resolved(record.fn, args, kwargs)
+        except BaseException as exc:  # surface submission failures on the future
+            record.future.set_exception(exc)
+            return
+        inner.add_done_callback(lambda f, r=record: self._forward(r, f))
+
+    @staticmethod
+    def _forward(record: _AppRecord, inner: Any) -> None:
+        exc = inner.exception()
+        if exc is not None:
+            record.future.set_exception(exc)
+        else:
+            record.future.set_result(inner.result())

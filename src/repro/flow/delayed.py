@@ -1,0 +1,154 @@
+"""A Dask-like ``delayed`` interface on top of the dataflow kernel.
+
+The paper (§5, "Parallel Libraries"): "The TaskVine backend is fully
+integrated with popular libraries like Parsl and Dask, in which TaskVine
+acts like the execution engine for workflows described in the language
+of either library."  :mod:`repro.flow.app` is the Parsl-shaped surface;
+this module is the Dask-shaped one: build a lazy expression graph, then
+``compute()`` it through any executor::
+
+    inc = delayed(lambda x: x + 1)
+    total = delayed(sum)([inc(i) for i in range(10)])
+    value = compute(total, dfk=dfk)
+
+Unlike Dask, there is no graph optimization — each Delayed node maps
+1:1 onto an app submission — but common-subexpression sharing works:
+a node referenced twice is submitted once.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Dict, Tuple
+
+from repro.errors import DataflowError
+from repro.flow.dataflow import DataFlowKernel
+
+_node_ids = itertools.count(1)
+
+
+class Delayed:
+    """A lazy call node: function + (possibly lazy) arguments."""
+
+    __slots__ = ("fn", "args", "kwargs", "key")
+
+    def __init__(self, fn: Callable[..., Any], args: Tuple[Any, ...], kwargs: Dict[str, Any]):
+        self.fn = fn
+        self.args = args
+        self.kwargs = kwargs
+        self.key = f"{getattr(fn, '__name__', 'call')}-{next(_node_ids)}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Delayed({self.key})"
+
+    def compute(self, dfk: DataFlowKernel, timeout: float | None = None) -> Any:
+        """Evaluate this node (and its whole subgraph) through ``dfk``."""
+        return compute(self, dfk=dfk, timeout=timeout)
+
+    # Make accidental truth-testing loud instead of silently-wrong.
+    def __bool__(self) -> bool:
+        raise DataflowError(
+            "a Delayed is lazy; call compute() before branching on it"
+        )
+
+    def __iter__(self):
+        raise DataflowError("a Delayed is lazy; compute() it before iterating")
+
+
+def delayed(fn: Callable[..., Any]) -> Callable[..., Delayed]:
+    """Wrap ``fn`` so calls build :class:`Delayed` nodes instead of running."""
+    if not callable(fn):
+        raise DataflowError("delayed() requires a callable")
+
+    def build(*args: Any, **kwargs: Any) -> Delayed:
+        return Delayed(fn, args, kwargs)
+
+    build.__name__ = getattr(fn, "__name__", "delayed")
+    build.__wrapped__ = fn  # type: ignore[attr-defined]
+    return build
+
+
+def _substitute(value: Any, futures: Dict[str, Any]) -> Any:
+    """Replace Delayed nodes with their (already-submitted) futures."""
+    if isinstance(value, Delayed):
+        return futures[value.key]
+    if isinstance(value, list):
+        return [_substitute(v, futures) for v in value]
+    if isinstance(value, tuple):
+        return tuple(_substitute(v, futures) for v in value)
+    if isinstance(value, dict):
+        return {k: _substitute(v, futures) for k, v in value.items()}
+    return value
+
+
+def _submit_graph(node: Delayed, dfk: DataFlowKernel, futures: Dict[str, Any]) -> Any:
+    """Post-order submission with memoization (shared nodes submit once)."""
+    if node.key in futures:
+        return futures[node.key]
+
+    def children(n: Delayed) -> list[Delayed]:
+        found: list[Delayed] = []
+
+        def walk(value: Any) -> None:
+            if isinstance(value, Delayed):
+                found.append(value)
+            elif isinstance(value, (list, tuple)):
+                for v in value:
+                    walk(v)
+            elif isinstance(value, dict):
+                for v in value.values():
+                    walk(v)
+
+        for a in n.args:
+            walk(a)
+        for v in n.kwargs.values():
+            walk(v)
+        return found
+
+    # Iterative DFS building a post-order (graphs can be deep).
+    path: list[tuple[Delayed, int]] = [(node, 0)]
+    on_path: set[str] = {node.key}
+    while path:
+        current, child_idx = path[-1]
+        kids = children(current)
+        if child_idx < len(kids):
+            path[-1] = (current, child_idx + 1)
+            kid = kids[child_idx]
+            if kid.key in on_path:
+                raise DataflowError("cycle detected in delayed graph")
+            if kid.key not in futures:
+                path.append((kid, 0))
+                on_path.add(kid.key)
+        else:
+            path.pop()
+            on_path.discard(current.key)
+            if current.key not in futures:
+                args = tuple(_substitute(a, futures) for a in current.args)
+                kwargs = {k: _substitute(v, futures) for k, v in current.kwargs.items()}
+                futures[current.key] = dfk.submit(current.fn, *args, **kwargs)
+    return futures[node.key]
+
+
+def compute(*nodes: Any, dfk: DataFlowKernel, timeout: float | None = None) -> Any:
+    """Evaluate one or more Delayed graphs; returns value(s) in order.
+
+    Non-Delayed inputs pass through unchanged, like ``dask.compute``.
+    """
+    if not nodes:
+        raise DataflowError("compute() needs at least one value")
+    futures: Dict[str, Any] = {}
+    results = []
+    pending = []
+    for n in nodes:
+        if isinstance(n, Delayed):
+            pending.append(_submit_graph(n, dfk, futures))
+        else:
+            pending.append(None)
+        results.append(n)
+    out = []
+    for value, fut in zip(results, pending):
+        if fut is None:
+            out.append(value)
+        else:
+            out.append(fut.result(timeout=timeout))
+    return out[0] if len(out) == 1 else tuple(out)

@@ -1,0 +1,51 @@
+"""Futures returned by app invocations.
+
+:class:`AppFuture` extends :class:`concurrent.futures.Future` — the
+"promise that the application will know and receive the result when a
+function is successfully executed" (§2.1.1) — with the identity of the
+app that produced it, useful for tracing and error messages.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import Future
+from typing import Any
+
+
+class AppFuture(Future):
+    """A future carrying app metadata."""
+
+    def __init__(self, app_name: str = "<app>", app_id: int = -1):
+        super().__init__()
+        self.app_name = app_name
+        self.app_id = app_id
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "done" if self.done() else "pending"
+        return f"AppFuture({self.app_name}#{self.app_id}, {state})"
+
+
+def resolve_value(value: Any) -> Any:
+    """Replace a completed AppFuture with its result, recursively through
+    lists/tuples/dicts (the containers Parsl apps commonly pass)."""
+    if isinstance(value, Future):
+        return value.result()
+    if isinstance(value, list):
+        return [resolve_value(v) for v in value]
+    if isinstance(value, tuple):
+        return tuple(resolve_value(v) for v in value)
+    if isinstance(value, dict):
+        return {k: resolve_value(v) for k, v in value.items()}
+    return value
+
+
+def iter_futures(value: Any):
+    """Yield every Future nested in ``value`` (lists/tuples/dicts)."""
+    if isinstance(value, Future):
+        yield value
+    elif isinstance(value, (list, tuple)):
+        for v in value:
+            yield from iter_futures(v)
+    elif isinstance(value, dict):
+        for v in value.values():
+            yield from iter_futures(v)

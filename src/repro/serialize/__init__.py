@@ -1,0 +1,35 @@
+"""Serialization substrate: capturing function code and moving Python values.
+
+The paper's *discover* mechanism (§3.2) tries source extraction first
+(``inspect``), then falls back to binary serialization (``cloudpickle``)
+for lambdas and dynamically-created functions.  This subpackage implements
+both routes plus the value (argument/result) serialization used on every
+manager↔worker↔library hop.
+"""
+
+from repro.serialize.core import (
+    deserialize,
+    deserialize_from_file,
+    serialize,
+    serialize_to_file,
+)
+from repro.serialize.source import (
+    FunctionCode,
+    capture_function,
+    extract_source,
+    is_serializable_by_source,
+)
+from repro.serialize.registry import SerializerRegistry, get_default_registry
+
+__all__ = [
+    "serialize",
+    "deserialize",
+    "serialize_to_file",
+    "deserialize_from_file",
+    "FunctionCode",
+    "capture_function",
+    "extract_source",
+    "is_serializable_by_source",
+    "SerializerRegistry",
+    "get_default_registry",
+]

@@ -1,0 +1,81 @@
+"""Pluggable serializer registry.
+
+Different payload classes want different wire formats: control messages
+are JSON (debuggable, language-neutral, matching TaskVine's C backend
+protocol), while arguments/results are cloudpickle.  The registry lets
+the engine pick per payload class and lets tests register instrumented
+serializers (e.g. to count bytes moved per hop).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Callable, Dict
+
+from repro.errors import SerializationError
+from repro.serialize import core
+
+
+@dataclass(frozen=True)
+class Serializer:
+    """A named pair of encode/decode callables."""
+
+    name: str
+    encode: Callable[[Any], bytes]
+    decode: Callable[[bytes], Any]
+
+
+def _json_encode(obj: Any) -> bytes:
+    try:
+        return json.dumps(obj, separators=(",", ":"), sort_keys=True).encode("utf-8")
+    except (TypeError, ValueError) as exc:
+        raise SerializationError(f"not JSON-encodable: {exc}") from exc
+
+
+def _json_decode(data: bytes) -> Any:
+    try:
+        return json.loads(data.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise SerializationError(f"bad JSON payload: {exc}") from exc
+
+
+class SerializerRegistry:
+    """Maps serializer names to implementations."""
+
+    def __init__(self) -> None:
+        self._by_name: Dict[str, Serializer] = {}
+
+    def register(self, serializer: Serializer, *, overwrite: bool = False) -> None:
+        if not overwrite and serializer.name in self._by_name:
+            raise SerializationError(f"serializer {serializer.name!r} already registered")
+        self._by_name[serializer.name] = serializer
+
+    def get(self, name: str) -> Serializer:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise SerializationError(f"no serializer named {name!r}") from None
+
+    def names(self) -> list[str]:
+        return sorted(self._by_name)
+
+    def encode(self, name: str, obj: Any) -> bytes:
+        return self.get(name).encode(obj)
+
+    def decode(self, name: str, data: bytes) -> Any:
+        return self.get(name).decode(data)
+
+
+_default: SerializerRegistry | None = None
+
+
+def get_default_registry() -> SerializerRegistry:
+    """The process-wide registry with ``pickle`` and ``json`` preinstalled."""
+    global _default
+    if _default is None:
+        registry = SerializerRegistry()
+        registry.register(Serializer("pickle", core.serialize, core.deserialize))
+        registry.register(Serializer("json", _json_encode, _json_decode))
+        _default = registry
+    return _default

@@ -1,0 +1,196 @@
+"""Function-code capture: source extraction with a binary fallback.
+
+Implements the two routes of §3.2 "Function code":
+
+1. *Source route* — ``inspect.getsource`` recovers the function's text so
+   a worker can ``exec`` it and call the function by name.  Decorator
+   lines are stripped and indentation is normalized because functions are
+   frequently defined inside classes or other functions.
+2. *Binary route* — for lambdas, ``exec``-generated functions, and
+   anything whose source is unreachable, the code object is serialized
+   with ``cloudpickle`` (walking the function graph the way the paper
+   describes walking the AST).
+
+:class:`FunctionCode` carries whichever representation was captured plus
+a content hash so identical functions deduplicate across libraries.
+"""
+
+from __future__ import annotations
+
+import ast
+import builtins
+import inspect
+import textwrap
+from dataclasses import dataclass
+from typing import Any, Callable, Set
+
+from repro.errors import DiscoveryError
+from repro.serialize.core import deserialize, serialize
+from repro.util.hashing import content_hash
+
+
+@dataclass(frozen=True)
+class FunctionCode:
+    """A portable representation of one function's code.
+
+    ``kind`` is ``"source"`` or ``"binary"``.  For the source kind,
+    ``payload`` is UTF-8 function text; for binary it is a framed
+    cloudpickle payload.  ``name`` is the attribute under which the
+    reconstructed callable is published in the remote namespace.
+    """
+
+    name: str
+    kind: str
+    payload: bytes
+
+    @property
+    def hash(self) -> str:
+        return content_hash(self.name, self.kind, self.payload)
+
+    def reconstruct(self, namespace: dict[str, Any] | None = None) -> Callable[..., Any]:
+        """Rebuild the callable in ``namespace`` (a fresh dict by default).
+
+        This is exactly what a library process does when it starts: every
+        function of its context is reconstructed once, then invoked many
+        times.
+        """
+        ns: dict[str, Any] = namespace if namespace is not None else {}
+        if self.kind == "source":
+            exec(compile(self.payload.decode("utf-8"), f"<context:{self.name}>", "exec"), ns)
+            try:
+                fn = ns[self.name]
+            except KeyError:
+                raise DiscoveryError(
+                    f"source for {self.name!r} did not define that name"
+                ) from None
+        elif self.kind == "binary":
+            fn = deserialize(self.payload)
+            ns[self.name] = fn
+        else:
+            raise DiscoveryError(f"unknown FunctionCode kind {self.kind!r}")
+        if not callable(fn):
+            raise DiscoveryError(f"reconstructed object {self.name!r} is not callable")
+        return fn
+
+
+def extract_source(fn: Callable[..., Any]) -> str:
+    """Return normalized source text for ``fn`` or raise :class:`DiscoveryError`.
+
+    Normalization dedents nested definitions and drops decorator lines,
+    since decorators generally reference names that will not exist in the
+    remote namespace.
+    """
+    try:
+        raw = inspect.getsource(fn)
+    except (OSError, TypeError) as exc:
+        raise DiscoveryError(f"no source available for {fn!r}: {exc}") from exc
+    src = textwrap.dedent(raw)
+    try:
+        tree = ast.parse(src)
+    except SyntaxError as exc:
+        raise DiscoveryError(f"source of {fn!r} does not parse: {exc}") from exc
+    defs = [
+        node
+        for node in tree.body
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+    ]
+    if not defs:
+        raise DiscoveryError(f"source of {fn!r} contains no function definition")
+    node = defs[0]
+    node.decorator_list = []
+    return ast.unparse(node) + "\n"
+
+
+def _referenced_globals(source: str) -> Set[str]:
+    """Names loaded in ``source`` that are not bound within it.
+
+    These are the function's external dependencies: module globals,
+    imported modules, or context-provided names.  Shared with the import
+    scanner in :mod:`repro.discover.imports`.
+    """
+    tree = ast.parse(source)
+    loaded: Set[str] = set()
+    stored: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Name):
+            if isinstance(node.ctx, ast.Load):
+                loaded.add(node.id)
+            else:
+                stored.add(node.id)
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            stored.add(node.name)
+            args = node.args
+            for arg in (
+                list(args.posonlyargs)
+                + list(args.args)
+                + list(args.kwonlyargs)
+            ):
+                stored.add(arg.arg)
+            if args.vararg:
+                stored.add(args.vararg.arg)
+            if args.kwarg:
+                stored.add(args.kwarg.arg)
+        elif isinstance(node, ast.Import):
+            for alias in node.names:
+                stored.add((alias.asname or alias.name).split(".")[0])
+        elif isinstance(node, ast.ImportFrom):
+            for alias in node.names:
+                stored.add(alias.asname or alias.name)
+        elif isinstance(node, ast.ExceptHandler) and node.name:
+            stored.add(node.name)
+        elif isinstance(node, (ast.ClassDef,)):
+            stored.add(node.name)
+    return loaded - stored
+
+
+def is_serializable_by_source(fn: Callable[..., Any]) -> bool:
+    """True when the source route will work for ``fn``.
+
+    Lambdas are rejected even when their text is findable: ``exec`` of a
+    bare lambda expression defines nothing, and a lambda's "source line"
+    often contains surrounding call syntax.  Closures are rejected because
+    their free variables would be lost by re-``exec``-ing the body alone.
+
+    A function referencing module-level globals that are *bound* in its
+    defining module (helper functions, constants, imported modules) is
+    also rejected: re-``exec``-ing the body alone would silently lose
+    them, so the binary route (which carries or references them) is used.
+    Referenced names that are *unbound* at capture time are assumed to be
+    context-provided (the ``global model`` pattern of Figure 4) and do
+    not disqualify the source route.
+    """
+    if getattr(fn, "__name__", "<lambda>") == "<lambda>":
+        return False
+    if getattr(fn, "__closure__", None):
+        return False
+    if not inspect.isfunction(fn):
+        return False
+    try:
+        source = extract_source(fn)
+    except DiscoveryError:
+        return False
+    fn_globals = getattr(fn, "__globals__", {})
+    for name in _referenced_globals(source):
+        if hasattr(builtins, name):
+            continue
+        if name in fn_globals:
+            return False  # source alone would lose this dependency
+    return True
+
+
+def capture_function(fn: Callable[..., Any]) -> FunctionCode:
+    """Capture ``fn`` via the source route when possible, else binary.
+
+    Mirrors TaskVine's behaviour: "TaskVine first tries to extract the
+    source code of such functions using the built-in inspect module ...
+    Otherwise, TaskVine serializes the functions to files using
+    cloudpickle."
+    """
+    name = getattr(fn, "__name__", None)
+    if name is None or not callable(fn):
+        raise DiscoveryError(f"{fn!r} is not a capturable function")
+    if is_serializable_by_source(fn):
+        return FunctionCode(name=name, kind="source", payload=extract_source(fn).encode("utf-8"))
+    if name == "<lambda>":
+        name = f"lambda_{content_hash(repr(fn.__code__.co_code))[:8]}"
+    return FunctionCode(name=name, kind="binary", payload=serialize(fn))

@@ -1,0 +1,50 @@
+"""Discrete-event simulator of the paper's evaluation cluster.
+
+The paper's experiments run 100k-invocation applications on 150 workers
+drawn from a 180-machine heterogeneous HTCondor pool (Table 3) with a
+Panasas shared filesystem.  That scale is physically unavailable here,
+so this subpackage provides a calibrated discrete-event model that
+preserves the *cost structure* of the real engine:
+
+* a serial manager with per-dispatch overhead that differs by context-
+  reuse level (the dominant term at 100k-task scale — see Q3);
+* workers with invocation slots, machine-group speed factors, and
+  stochastic service times;
+* a fair-share shared-filesystem model (L1 contention);
+* manager-NIC / peer spanning-tree context distribution (L2/L3);
+* library lifecycle: deploy → unpack → setup → serve → idle-evict
+  (Figures 10/11).
+
+Calibration constants derive from the paper's Tables 2 and 5; see
+:mod:`repro.sim.calibration` and EXPERIMENTS.md for the fit.
+"""
+
+from repro.sim.des import EventQueue, FairShareResource
+from repro.sim.machine import MachineGroup, PAPER_CLUSTER, build_fleet
+from repro.sim.calibration import CostModel, ReuseLevel, lnni_cost_model, examol_cost_model
+from repro.sim.workload import InvocationSpec, Workload, lnni_workload, examol_workload
+from repro.sim.engine import SimManager
+from repro.sim.trace import RunResult, TraceRecorder
+from repro.sim.runner import run_lnni, run_examol, run_simulation
+
+__all__ = [
+    "EventQueue",
+    "FairShareResource",
+    "MachineGroup",
+    "PAPER_CLUSTER",
+    "build_fleet",
+    "CostModel",
+    "ReuseLevel",
+    "lnni_cost_model",
+    "examol_cost_model",
+    "InvocationSpec",
+    "Workload",
+    "lnni_workload",
+    "examol_workload",
+    "SimManager",
+    "RunResult",
+    "TraceRecorder",
+    "run_lnni",
+    "run_examol",
+    "run_simulation",
+]

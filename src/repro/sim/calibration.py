@@ -1,0 +1,172 @@
+"""Calibration constants for the cluster simulator.
+
+Two kinds of constants appear here:
+
+* **Measured** — taken directly from the paper's Tables 2 and 5
+  (environment tarball size, unpack time, library setup time, per-level
+  per-invocation execution times, per-invocation manager overhead at
+  L3 ≈ 2.5 ms from Table 2).
+* **Fitted** — quantities the paper does not report directly (manager
+  serial dispatch cost at L1/L2, effective shared-FS bytes per L1
+  reload, local interpreter+import startup, jitter/straggler
+  distributions).  These are fitted so the simulator reproduces the
+  paper's Figure 6 makespans and Table 4 run-time statistics; the fit
+  and residuals are documented in EXPERIMENTS.md.
+
+Every stochastic draw goes through :class:`ServiceSampler`, seeded per
+(run, invocation) so results are deterministic.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from repro.util.rng import seeded_rng
+
+
+class ReuseLevel(enum.Enum):
+    """The paper's three levels of context reuse (§4.2)."""
+
+    L1 = "L1"  # no reuse: every task pulls context from the shared FS
+    L2 = "L2"  # reuse on disk: context cached on worker local disk
+    L3 = "L3"  # reuse on disk + memory: persistent library process
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """All timing constants for one application under the simulator."""
+
+    # --- manager serial costs (seconds per task/invocation) -----------------
+    # L3 value measured: Table 2 reports 2.52 ms per remote invocation.
+    # L1/L2 fitted to Figure 6a makespans (the manager must serialize the
+    # function+args and register per-task files for every task at L1/L2).
+    mgr_dispatch: Dict[ReuseLevel, float] = field(
+        default_factory=lambda: {
+            ReuseLevel.L1: 0.074,
+            ReuseLevel.L2: 0.033,
+            ReuseLevel.L3: 0.0035,
+        }
+    )
+    mgr_library_deploy: float = 0.005  # serial cost to send one library
+
+    # --- context artifacts (measured, §4.7) ---------------------------------
+    env_tarball_bytes: float = 572e6      # "572 MBs when tarballed"
+    env_unpacked_bytes: float = 3.1e9     # "3.1GBs of disk size"
+    data_bytes: float = 25e6              # model parameters archive
+
+    # --- shared filesystem (L1 path; Panasas ActiveStor 16) ------------------
+    fs_capacity: float = 10.5e9           # 84 Gb/s aggregate read bandwidth
+    fs_per_reader: float = 6.0e7          # effective per-client rate (fitted;
+                                          # metadata/IOPS bound, not line rate)
+    l1_fs_bytes: float = 6.0e8            # effective bytes re-read per L1 task
+
+    # --- network ---------------------------------------------------------------
+    manager_nic: float = 1.25e9           # 10 GbE
+    worker_nic: float = 1.25e9
+    peer_transfer: bool = True            # spanning-tree distribution (Fig 3b)
+    peer_cap: int = 3
+    net_latency: float = 0.001
+
+    # --- worker-side fixed costs (seconds on the reference machine) ------------
+    unpack_time: float = 15.435           # Table 5: L2-cold worker overhead
+    library_setup: float = 2.729          # Table 5: L3 library overhead
+    deser_cold: float = 0.403             # Table 5: L2-cold invocation overhead
+    deser_hot: float = 0.327              # Table 5: L2-hot invocation overhead
+    invoc_overhead_l3: float = 0.001      # Table 5: L3 sub-millisecond overheads
+    startup_local: float = 3.5            # fitted: interpreter + imports (L2)
+    model_rebuild: float = 2.390          # Table 5: exec(L2) - exec(L3)
+
+    # --- execution -----------------------------------------------------------
+    exec_base: float = 3.079              # Table 5: L3 exec, one work unit
+    cluster_slowdown: float = 1.70        # fitted: shared 32-core node contention
+    jitter_sigma: float = 0.20            # lognormal sigma on service times
+    straggler_prob: float = 0.01
+    straggler_exec: Tuple[float, float] = (2.0, 4.0)   # uniform factor range
+    straggler_fs: Tuple[float, float] = (10.0, 28.0)    # FS contention storms
+
+    # --- worker/library geometry (paper §4.2) -----------------------------------
+    worker_cores: int = 32
+    invocation_cores: int = 2             # LNNI: 2 cores per invocation
+    library_slots: int = 1                # 16 one-slot libraries per worker
+    library_idle_timeout: float = 30.0    # idle-library reclamation (Fig 10)
+
+    @property
+    def slots_per_worker(self) -> int:
+        return self.worker_cores // self.invocation_cores
+
+
+def lnni_cost_model(**overrides: object) -> CostModel:
+    """The LNNI application's cost model (ResNet50 inference batches)."""
+    return CostModel(**overrides)  # defaults above ARE the LNNI calibration
+
+
+def examol_cost_model(**overrides: object) -> CostModel:
+    """ExaMol cost model: 4-core invocations, bigger quantum-chem tasks.
+
+    ExaMol tasks are minutes-long PM7 / train / infer invocations with a
+    heavier software stack (OpenMOPAC + scikit-learn + RDKit); base exec
+    times live in the workload spec, this model only reshapes overheads.
+    """
+    defaults: Dict[str, object] = dict(
+        invocation_cores=4,               # §4.2: 8 concurrent invocations/worker
+        env_tarball_bytes=8.0e8,
+        env_unpacked_bytes=4.0e9,
+        l1_fs_bytes=1.1e9,
+        exec_base=1.0,                    # workload carries absolute times
+        # ExaMol rounds barrier on whole task batches; the paper reports no
+        # per-task runtime distribution for it, so the heavy straggler tail
+        # (an LNNI/Table-4 artifact) is disabled to keep barriers meaningful.
+        straggler_prob=0.0,
+        mgr_dispatch={
+            ReuseLevel.L1: 0.074,
+            ReuseLevel.L2: 0.033,
+            ReuseLevel.L3: 0.0025,
+        },
+    )
+    defaults.update(overrides)
+    return CostModel(**defaults)  # type: ignore[arg-type]
+
+
+class ServiceSampler:
+    """Deterministic stochastic service-time generator.
+
+    ``scale(phase, base, speed_factor)`` returns the sampled duration for
+    one service phase: ``base × speed × cluster_slowdown × lognormal``
+    with a small probability of a straggler multiplier.  Samples are
+    drawn from a stream seeded by (seed, counter) so each invocation's
+    fate is independent of execution interleaving.
+    """
+
+    def __init__(self, model: CostModel, seed: int | str = 0):
+        self.model = model
+        self._rng = seeded_rng("service", seed)
+
+    def jitter(self) -> float:
+        sigma = self.model.jitter_sigma
+        return float(math.exp(self._rng.normal(-0.5 * sigma * sigma, sigma)))
+
+    def maybe_straggle(self, lo_hi: Tuple[float, float]) -> float:
+        if float(self._rng.random()) < self.model.straggler_prob:
+            lo, hi = lo_hi
+            return float(self._rng.uniform(lo, hi))
+        return 1.0
+
+    def exec_time(self, base: float, speed_factor: float) -> float:
+        return (
+            base
+            * speed_factor
+            * self.model.cluster_slowdown
+            * self.jitter()
+            * self.maybe_straggle(self.model.straggler_exec)
+        )
+
+    def fixed_time(self, base: float, speed_factor: float) -> float:
+        """Non-exec service phases (unpack, setup): jitter but no stragglers."""
+        return base * speed_factor * self.jitter()
+
+    def fs_penalty(self) -> float:
+        """Multiplier on a shared-FS read (contention storms: heavy tail)."""
+        return self.jitter() * self.maybe_straggle(self.model.straggler_fs)

@@ -1,0 +1,208 @@
+"""Discrete-event simulation kernel.
+
+:class:`EventQueue` is a deterministic time-ordered event heap with
+cancellation; :class:`FairShareResource` is a processor-sharing fluid
+resource (aggregate capacity split equally among active jobs, each also
+capped by a per-job rate) used for the shared filesystem and the
+manager's NIC.  Determinism matters: same seed → byte-identical traces,
+so benchmark tables are stable run-to-run.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.errors import SimulationError
+
+EventCallback = Callable[[], None]
+
+
+class EventQueue:
+    """A cancelable min-heap of timed callbacks.
+
+    Ties break by insertion order, making runs deterministic regardless
+    of callback content.
+    """
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[float, int, int]] = []
+        self._callbacks: Dict[int, EventCallback] = {}
+        self._seq = itertools.count()
+        self.now = 0.0
+        self.events_processed = 0
+
+    def schedule(self, delay: float, callback: EventCallback) -> int:
+        """Schedule ``callback`` to fire ``delay`` seconds from now; returns an id."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        eid = next(self._seq)
+        heapq.heappush(self._heap, (self.now + delay, eid, eid))
+        self._callbacks[eid] = callback
+        return eid
+
+    def schedule_at(self, when: float, callback: EventCallback) -> int:
+        return self.schedule(when - self.now, callback)
+
+    def cancel(self, event_id: int) -> bool:
+        """Cancel a pending event; returns False if it already fired."""
+        return self._callbacks.pop(event_id, None) is not None
+
+    def __len__(self) -> int:
+        return len(self._callbacks)
+
+    def step(self) -> bool:
+        """Fire the next event; returns False when the queue is empty."""
+        while self._heap:
+            when, _, eid = heapq.heappop(self._heap)
+            callback = self._callbacks.pop(eid, None)
+            if callback is None:
+                continue  # cancelled
+            if when < self.now - 1e-9:
+                raise SimulationError("event queue went backwards in time")
+            self.now = max(self.now, when)
+            callback()
+            self.events_processed += 1
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+        """Drain the queue, optionally bounded by time or event count."""
+        fired = 0
+        while self._callbacks:
+            if until is not None and self._peek_time() > until:
+                self.now = until
+                return
+            if not self.step():
+                return
+            fired += 1
+            if max_events is not None and fired >= max_events:
+                raise SimulationError(f"exceeded {max_events} events — runaway simulation?")
+
+    def _peek_time(self) -> float:
+        while self._heap and self._heap[0][2] not in self._callbacks:
+            heapq.heappop(self._heap)
+        return self._heap[0][0] if self._heap else float("inf")
+
+
+class FairShareResource:
+    """Processor-sharing fluid resource.
+
+    Jobs submit an amount of *work* (e.g. bytes).  At any instant each of
+    the ``n`` active jobs progresses at ``min(capacity / n, per_job_cap)``.
+    Completions trigger callbacks; rates are recomputed whenever the
+    active set changes.
+
+    Implementation uses the standard *virtual time* reduction: since
+    every active job progresses at the same instantaneous rate, job
+    completion order equals submission-work order, and each job finishes
+    when the accumulated per-job progress ``V(t)`` reaches
+    ``V(submit) + work``.  All operations are O(log n).
+    """
+
+    def __init__(
+        self,
+        queue: EventQueue,
+        capacity: float,
+        *,
+        per_job_cap: Optional[float] = None,
+        name: str = "resource",
+    ):
+        if capacity <= 0:
+            raise SimulationError("capacity must be positive")
+        self.queue = queue
+        self.capacity = capacity
+        self.per_job_cap = per_job_cap
+        self.name = name
+        self._targets: List[Tuple[float, int]] = []  # (virtual finish, jid) heap
+        self._done_callbacks: Dict[int, EventCallback] = {}
+        self._ids = itertools.count()
+        self._virtual = 0.0       # accumulated per-job progress
+        self._last_update = 0.0
+        self._completion_event: Optional[int] = None
+        self.total_jobs = 0
+        self.busy_time = 0.0  # integral of (active > 0) dt
+        self.peak_concurrency = 0
+
+    # -- internals ---------------------------------------------------------
+    def _rate(self) -> float:
+        n = len(self._done_callbacks)
+        if n == 0:
+            return 0.0
+        rate = self.capacity / n
+        if self.per_job_cap is not None:
+            rate = min(rate, self.per_job_cap)
+        return rate
+
+    def _advance(self) -> None:
+        now = self.queue.now
+        elapsed = now - self._last_update
+        if elapsed > 0 and self._done_callbacks:
+            self._virtual += self._rate() * elapsed
+            self.busy_time += elapsed
+        self._last_update = now
+
+    def _peek(self) -> Optional[Tuple[float, int]]:
+        while self._targets and self._targets[0][1] not in self._done_callbacks:
+            heapq.heappop(self._targets)
+        return self._targets[0] if self._targets else None
+
+    def _reschedule(self) -> None:
+        if self._completion_event is not None:
+            self.queue.cancel(self._completion_event)
+            self._completion_event = None
+        head = self._peek()
+        if head is None:
+            return
+        rate = self._rate()
+        delay = max(0.0, (head[0] - self._virtual) / rate) if rate > 0 else float("inf")
+        self._completion_event = self.queue.schedule(delay, self._complete)
+
+    def _complete(self) -> None:
+        self._completion_event = None
+        self._advance()
+        completed_any = False
+        while True:
+            head = self._peek()
+            if head is None:
+                break
+            # Relative tolerance: work is often byte-scale (1e8+), where an
+            # absolute epsilon would spin on float rounding.
+            tol = 1e-9 * max(1.0, abs(head[0]))
+            if head[0] > self._virtual + tol:
+                if completed_any:
+                    break
+                # The event fired for this head job; float rounding left it
+                # a hair short of its target — snap forward and finish it.
+                self._virtual = head[0]
+            _, jid = heapq.heappop(self._targets)
+            callback = self._done_callbacks.pop(jid)
+            callback()
+            completed_any = True
+        self._reschedule()
+
+    # -- API --------------------------------------------------------------------
+    def submit(self, work: float, on_done: EventCallback) -> int:
+        """Start a job of ``work`` units; ``on_done`` fires at completion."""
+        if work < 0:
+            raise SimulationError("work must be non-negative")
+        self._advance()
+        jid = next(self._ids)
+        heapq.heappush(self._targets, (self._virtual + max(work, 1e-12), jid))
+        self._done_callbacks[jid] = on_done
+        self.total_jobs += 1
+        self.peak_concurrency = max(self.peak_concurrency, len(self._done_callbacks))
+        self._reschedule()
+        return jid
+
+    @property
+    def active_jobs(self) -> int:
+        return len(self._done_callbacks)
+
+    def estimated_solo_time(self, work: float) -> float:
+        """Time the job would take alone (for calibration sanity checks)."""
+        rate = self.capacity
+        if self.per_job_cap is not None:
+            rate = min(rate, self.per_job_cap)
+        return work / rate

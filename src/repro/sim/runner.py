@@ -1,0 +1,76 @@
+"""High-level experiment runners: one call per paper experiment cell.
+
+These wrap fleet construction, cost-model selection, and the simulation
+loop so that benchmarks and examples read like the experiment matrix::
+
+    result = run_lnni(level=ReuseLevel.L3, n_invocations=100_000, n_workers=150)
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.sim.calibration import CostModel, ReuseLevel, examol_cost_model, lnni_cost_model
+from repro.sim.engine import SimManager
+from repro.sim.machine import build_fleet
+from repro.sim.trace import RunResult
+from repro.sim.workload import Workload, examol_workload, lnni_workload
+
+
+def run_simulation(
+    workload: Workload,
+    model: CostModel,
+    level: ReuseLevel,
+    *,
+    n_workers: int = 150,
+    seed: int | str = 0,
+    exclude_groups: Sequence[str] = (),
+    sample_every: Optional[int] = None,
+) -> RunResult:
+    """Simulate ``workload`` at ``level`` on a Table-3-proportional fleet."""
+    fleet = build_fleet(n_workers, seed=seed, exclude_groups=exclude_groups)
+    sim = SimManager(
+        workload, fleet, model, level, seed=seed, sample_every=sample_every
+    )
+    return sim.run()
+
+
+def run_lnni(
+    level: ReuseLevel,
+    *,
+    n_invocations: int = 100_000,
+    inferences_per_invocation: int = 16,
+    n_workers: int = 150,
+    seed: int | str = 0,
+    exclude_groups: Sequence[str] = (),
+    model: Optional[CostModel] = None,
+) -> RunResult:
+    """One LNNI cell of the experiment matrix (Figures 6a/7/8/9/10/11, Table 4)."""
+    wl = lnni_workload(n_invocations, inferences_per_invocation)
+    return run_simulation(
+        wl,
+        model or lnni_cost_model(),
+        level,
+        n_workers=n_workers,
+        seed=seed,
+        exclude_groups=exclude_groups,
+    )
+
+
+def run_examol(
+    level: ReuseLevel,
+    *,
+    n_tasks: int = 10_000,
+    n_workers: int = 150,
+    seed: int | str = 0,
+    model: Optional[CostModel] = None,
+) -> RunResult:
+    """One ExaMol cell (Figure 6b).  The paper evaluates L1 and L2 only."""
+    wl = examol_workload(n_tasks)
+    return run_simulation(
+        wl,
+        model or examol_cost_model(),
+        level,
+        n_workers=n_workers,
+        seed=seed,
+    )

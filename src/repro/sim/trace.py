@@ -1,0 +1,124 @@
+"""Trace recording and run results for simulator experiments.
+
+Keeps memory bounded at 100k-invocation scale: per-invocation runtimes
+are stored as a flat list (that is what Table 4 / Figure 7 need), while
+library-count and share-value curves (Figures 10/11) are sampled every
+``sample_every`` completions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.util.stats import Histogram, SummaryStats, summarize
+
+
+@dataclass
+class TraceRecorder:
+    """Mutable collection target used by the simulator while running."""
+
+    sample_every: int = 200
+    runtimes: List[float] = field(default_factory=list)
+    runtimes_by_function: Dict[str, List[float]] = field(default_factory=dict)
+    # (completed invocations, active libraries) samples — Figure 10.
+    library_timeline: List[Tuple[int, int]] = field(default_factory=list)
+    # (completed invocations, mean invocations served per active library) — Fig 11.
+    share_timeline: List[Tuple[int, float]] = field(default_factory=list)
+    phase_totals: Dict[str, float] = field(default_factory=dict)
+    completed: int = 0
+    libraries_deployed_total: int = 0
+    libraries_removed_total: int = 0
+
+    def record_invocation(self, function: str, runtime: float, phases: Dict[str, float]) -> None:
+        self.completed += 1
+        self.runtimes.append(runtime)
+        self.runtimes_by_function.setdefault(function, []).append(runtime)
+        for phase, dur in phases.items():
+            self.phase_totals[phase] = self.phase_totals.get(phase, 0.0) + dur
+
+    def sample_libraries(self, active: int, mean_share: float) -> None:
+        if self.completed % self.sample_every == 0 or not self.library_timeline:
+            self.library_timeline.append((self.completed, active))
+            self.share_timeline.append((self.completed, mean_share))
+
+
+@dataclass
+class RunResult:
+    """Outcome of one simulated application run."""
+
+    workload: str
+    level: str
+    n_workers: int
+    makespan: float
+    trace: TraceRecorder
+    manager_busy: float = 0.0
+    events: int = 0
+
+    @property
+    def runtime_stats(self) -> SummaryStats:
+        return summarize(self.trace.runtimes)
+
+    def histogram(self, lo: float = 0.0, hi: float = 40.0, bins: int = 20) -> Histogram:
+        """Invocation-run-time histogram clipped at ``hi`` (Figure 7 style)."""
+        h = Histogram(lo, hi, bins)
+        h.extend(self.trace.runtimes)
+        return h
+
+    def peak_libraries(self) -> int:
+        if not self.trace.library_timeline:
+            return 0
+        return max(count for _, count in self.trace.library_timeline)
+
+    def final_mean_share(self) -> float:
+        if not self.trace.share_timeline:
+            return 0.0
+        return self.trace.share_timeline[-1][1]
+
+    def summary_row(self) -> str:
+        s = self.runtime_stats
+        return (
+            f"{self.workload:28s} {self.level:3s} workers={self.n_workers:<4d} "
+            f"makespan={self.makespan:9.1f}s mean={s.mean:6.2f}s std={s.std:6.2f}s "
+            f"min={s.min:5.2f}s max={s.max:7.2f}s"
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-friendly summary (runtimes omitted — use export paths)."""
+        s = self.runtime_stats
+        return {
+            "workload": self.workload,
+            "level": self.level,
+            "n_workers": self.n_workers,
+            "makespan": self.makespan,
+            "invocations": s.count,
+            "runtime_mean": s.mean,
+            "runtime_std": s.std,
+            "runtime_min": s.min,
+            "runtime_max": s.max,
+            "manager_busy": self.manager_busy,
+            "events": self.events,
+            "libraries_deployed": self.trace.libraries_deployed_total,
+            "libraries_removed": self.trace.libraries_removed_total,
+            "peak_libraries": self.peak_libraries(),
+        }
+
+    def save_json(self, path: str) -> None:
+        """Write the summary plus the Figures-10/11 curves as JSON."""
+        import json
+
+        payload = dict(self.to_dict())
+        payload["library_timeline"] = self.trace.library_timeline
+        payload["share_timeline"] = self.trace.share_timeline
+        with open(path, "w") as fh:
+            json.dump(payload, fh, indent=1)
+
+    def save_runtimes_csv(self, path: str) -> None:
+        """Write one row per invocation (the Figure-7 raw data)."""
+        import csv
+
+        with open(path, "w", newline="") as fh:
+            writer = csv.writer(fh)
+            writer.writerow(["index", "runtime_seconds"])
+            for i, runtime in enumerate(self.trace.runtimes):
+                writer.writerow([i, f"{runtime:.6f}"])

@@ -1,0 +1,193 @@
+"""Workload generators for the two evaluation applications.
+
+A :class:`Workload` is an ordered set of :class:`InvocationSpec` records
+with optional DAG dependencies.  LNNI is a flat bag of identical
+inference invocations; ExaMol is an active-learning loop whose rounds
+impose barriers (simulate → train → infer → next round), which is what
+makes per-task overhead bleed into the critical path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class InvocationSpec:
+    """One unit of work submitted to the (simulated) workflow system.
+
+    ``exec_units`` multiplies the cost model's ``exec_base`` (for LNNI,
+    ``inferences / 16``); ``exec_absolute`` instead gives an absolute
+    base in seconds (used by ExaMol task types).  ``deps`` are ids of
+    invocations that must complete first.
+    """
+
+    uid: int
+    function: str
+    exec_units: float = 1.0
+    exec_absolute: float | None = None
+    deps: Tuple[int, ...] = ()
+    # Number of deps that must complete before this invocation is ready;
+    # None means all of them.  Colmena-style steering retrains on whatever
+    # simulations have arrived rather than barriering on stragglers.
+    quorum: int | None = None
+
+    def required_deps(self) -> int:
+        if self.quorum is None:
+            return len(self.deps)
+        return min(self.quorum, len(self.deps))
+
+
+@dataclass
+class Workload:
+    name: str
+    invocations: List[InvocationSpec] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.invocations)
+
+    def validate(self) -> None:
+        """Dependencies must reference earlier invocations (DAG by construction)."""
+        seen: set[int] = set()
+        ids: set[int] = set()
+        for spec in self.invocations:
+            if spec.uid in ids:
+                raise SimulationError(f"duplicate invocation id {spec.uid}")
+            ids.add(spec.uid)
+        for spec in self.invocations:
+            for dep in spec.deps:
+                if dep == spec.uid:
+                    raise SimulationError(f"invocation {spec.uid} depends on itself")
+                if dep not in ids:
+                    raise SimulationError(
+                        f"invocation {spec.uid} depends on unknown id {dep}"
+                    )
+            if spec.quorum is not None and spec.quorum < 0:
+                raise SimulationError(f"invocation {spec.uid} has a negative quorum")
+            seen.add(spec.uid)
+
+    def functions(self) -> List[str]:
+        return sorted({s.function for s in self.invocations})
+
+
+def lnni_workload(
+    n_invocations: int = 100_000, inferences_per_invocation: int = 16
+) -> Workload:
+    """The Large-Scale Neural Network Inference application (§4.1.1).
+
+    "runs 10k to 100k inference invocations, each of which runs 16 to
+    1,600 inferences, on a pretrained ResNet50 model."  Execution cost
+    scales linearly with the inference count; 16 inferences is one work
+    unit (the Table 5 anchor).
+    """
+    if n_invocations < 1:
+        raise SimulationError("need at least one invocation")
+    if inferences_per_invocation < 1:
+        raise SimulationError("need at least one inference per invocation")
+    units = inferences_per_invocation / 16.0
+    wl = Workload(name=f"lnni-{n_invocations}x{inferences_per_invocation}")
+    wl.invocations = [
+        InvocationSpec(uid=i, function="infer", exec_units=units)
+        for i in range(n_invocations)
+    ]
+    return wl
+
+
+# ExaMol per-type base execution times (seconds on the reference machine).
+# Fitted so the simulated L1/L2 makespans land near Figure 6b (4600s/3364s)
+# with the paper's 10k tasks on 150 workers; the simulate:train:infer mix
+# follows the application's structure (PM7 calculations dominate).
+EXAMOL_TASK_TIMES: Dict[str, float] = {
+    "simulate": 44.0,    # PM7 ionization-potential calculation
+    "train": 30.0,       # scikit-learn surrogate retrain
+    "infer": 8.0,        # surrogate screening batch
+}
+
+# Fraction of a round's simulations a retrain waits for.  Colmena steers
+# continuously: training starts once enough new data has arrived instead
+# of barriering on the slowest simulation.
+EXAMOL_TRAIN_QUORUM = 0.6
+
+
+def examol_workload(
+    n_tasks: int = 10_000,
+    *,
+    rounds: int = 16,
+    trains_per_round: int = 2,
+    infer_fraction: float = 0.10,
+) -> Workload:
+    """The ExaMol molecular-design application (§4.1.2).
+
+    Structure per active-learning round:
+
+    1. a batch of ``simulate`` tasks (PM7 calculations) — independent;
+    2. ``train`` tasks that depend on every simulation of the round;
+    3. ``infer`` tasks that depend on the round's training;
+    4. the next round's simulations depend on this round's inferences
+       (the thinker picks new candidates from the inference ranking).
+
+    Colmena pipelines rounds partially; we model that by having round
+    ``r+1`` simulations depend only on half of round ``r``'s inferences.
+    """
+    if n_tasks < rounds * (trains_per_round + 2):
+        raise SimulationError("n_tasks too small for the requested round count")
+    wl = Workload(name=f"examol-{n_tasks}")
+    per_round = n_tasks // rounds
+    n_infer = max(1, int(per_round * infer_fraction))
+    n_sim = per_round - n_infer - trains_per_round
+    if n_sim < 1:
+        raise SimulationError("round structure leaves no simulate tasks")
+    uid = 0
+    prev_gate: List[int] = []  # inference ids gating the next round
+    produced = 0
+    for r in range(rounds):
+        # Remainder tasks join the last round's simulations.
+        extra = (n_tasks - per_round * rounds) if r == rounds - 1 else 0
+        sims: List[int] = []
+        gate = tuple(prev_gate)
+        for _ in range(n_sim + extra):
+            wl.invocations.append(
+                InvocationSpec(
+                    uid=uid,
+                    function="simulate",
+                    exec_absolute=EXAMOL_TASK_TIMES["simulate"],
+                    deps=gate,
+                )
+            )
+            sims.append(uid)
+            uid += 1
+        trains: List[int] = []
+        train_quorum = max(1, int(len(sims) * EXAMOL_TRAIN_QUORUM))
+        for _ in range(trains_per_round):
+            wl.invocations.append(
+                InvocationSpec(
+                    uid=uid,
+                    function="train",
+                    exec_absolute=EXAMOL_TASK_TIMES["train"],
+                    deps=tuple(sims),
+                    quorum=train_quorum,
+                )
+            )
+            trains.append(uid)
+            uid += 1
+        infers: List[int] = []
+        for _ in range(n_infer):
+            wl.invocations.append(
+                InvocationSpec(
+                    uid=uid,
+                    function="infer",
+                    exec_absolute=EXAMOL_TASK_TIMES["infer"],
+                    deps=tuple(trains),
+                    quorum=1,  # screen with whichever retrained model lands first
+                )
+            )
+            infers.append(uid)
+            uid += 1
+        produced += n_sim + extra + trains_per_round + n_infer
+        gate_infers = infers[: max(1, len(infers) // 2)]
+        prev_gate = gate_infers
+    wl.validate()
+    return wl

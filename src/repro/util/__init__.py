@@ -1,0 +1,22 @@
+"""Shared utilities: hashing, timing, statistics, RNG, and logging helpers."""
+
+from repro.util.hashing import content_hash, hash_bytes, hash_file, short_hash
+from repro.util.timer import Stopwatch, Timer
+from repro.util.stats import Histogram, SummaryStats, summarize
+from repro.util.rng import seeded_rng, stable_seed
+from repro.util.logging import get_logger
+
+__all__ = [
+    "content_hash",
+    "hash_bytes",
+    "hash_file",
+    "short_hash",
+    "Stopwatch",
+    "Timer",
+    "Histogram",
+    "SummaryStats",
+    "summarize",
+    "seeded_rng",
+    "stable_seed",
+    "get_logger",
+]

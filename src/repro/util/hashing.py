@@ -1,0 +1,81 @@
+"""Content hashing for unique, immutable data naming.
+
+The paper (§2.2.2) requires that "any transferable data in the system has
+to be uniquely identified and read-only, otherwise data corruption can
+silently happen ... such as naming files based on the hash of their
+contents."  Every file tracked by the manager, every environment package,
+and every serialized function body in this repository is addressed by the
+SHA-256 of its contents, exactly as TaskVine names its cached files.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from typing import Iterable
+
+_CHUNK = 1 << 20  # 1 MiB read chunks keep memory bounded for large files.
+
+
+def hash_bytes(data: bytes) -> str:
+    """Return the hex SHA-256 digest of ``data``."""
+    return hashlib.sha256(data).hexdigest()
+
+
+def hash_file(path: str | os.PathLike[str]) -> str:
+    """Return the hex SHA-256 digest of the file at ``path``.
+
+    Reads in 1 MiB chunks so multi-GB environment tarballs do not have to
+    fit in memory.
+    """
+    digest = hashlib.sha256()
+    with open(path, "rb") as fh:
+        while True:
+            chunk = fh.read(_CHUNK)
+            if not chunk:
+                break
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+def content_hash(*parts: bytes | str) -> str:
+    """Hash a sequence of heterogeneous parts into one stable digest.
+
+    Each part is length-prefixed before hashing so that the concatenation
+    is unambiguous: ``content_hash(b"ab", b"c") != content_hash(b"a", b"bc")``.
+    Strings are encoded as UTF-8.
+    """
+    digest = hashlib.sha256()
+    for part in parts:
+        if isinstance(part, str):
+            part = part.encode("utf-8")
+        digest.update(len(part).to_bytes(8, "big"))
+        digest.update(part)
+    return digest.hexdigest()
+
+
+def short_hash(full: str, length: int = 12) -> str:
+    """Abbreviate a hex digest for display and file naming.
+
+    12 hex chars (48 bits) keeps collision probability negligible for the
+    object counts this system handles while keeping paths readable.
+    """
+    if length <= 0:
+        raise ValueError("length must be positive")
+    return full[:length]
+
+
+def merkle_root(hashes: Iterable[str]) -> str:
+    """Combine an ordered list of digests into a single root digest.
+
+    Used to derive one identity for a *set* of context elements (code +
+    dependency package + data files) so an entire function context can be
+    deduplicated by a single key on workers.
+    """
+    digest = hashlib.sha256()
+    count = 0
+    for h in hashes:
+        digest.update(bytes.fromhex(h))
+        count += 1
+    digest.update(count.to_bytes(8, "big"))
+    return digest.hexdigest()

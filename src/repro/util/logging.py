@@ -1,0 +1,64 @@
+"""Structured logging for the engine's distributed components.
+
+Every process (manager, worker, library) logs through a logger named
+``repro.<component>`` with a uniform format carrying the component name
+and monotonic-ish timestamps.  Verbosity is controlled by the
+``REPRO_LOG`` environment variable (``debug``/``info``/``warning``;
+unset = silent), so production runs pay nothing and a failing
+multi-process test can be replayed with full protocol traces::
+
+    REPRO_LOG=debug pytest tests/test_engine_integration.py -k peer
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import sys
+
+_FORMAT = "%(asctime)s %(name)s [%(levelname).1s] %(message)s"
+_configured = False
+
+
+def _level_from_env() -> int | None:
+    raw = os.environ.get("REPRO_LOG", "").strip().lower()
+    if not raw:
+        return None
+    return {
+        "debug": logging.DEBUG,
+        "info": logging.INFO,
+        "warning": logging.WARNING,
+        "warn": logging.WARNING,
+        "error": logging.ERROR,
+    }.get(raw, logging.INFO)
+
+
+def get_logger(component: str) -> logging.Logger:
+    """Logger for one component (``manager``, ``worker.w0``, ``library.3``).
+
+    First call configures the ``repro`` root logger from ``REPRO_LOG``;
+    with the variable unset, a NullHandler keeps everything silent.
+    """
+    global _configured
+    root = logging.getLogger("repro")
+    if not _configured:
+        level = _level_from_env()
+        if level is None:
+            root.addHandler(logging.NullHandler())
+        else:
+            handler = logging.StreamHandler(sys.stderr)
+            handler.setFormatter(logging.Formatter(_FORMAT, datefmt="%H:%M:%S"))
+            root.addHandler(handler)
+            root.setLevel(level)
+        _configured = True
+    return root.getChild(component)
+
+
+def reset_for_tests() -> None:
+    """Drop cached configuration so tests can exercise REPRO_LOG handling."""
+    global _configured
+    root = logging.getLogger("repro")
+    for handler in list(root.handlers):
+        root.removeHandler(handler)
+    root.setLevel(logging.NOTSET)
+    _configured = False

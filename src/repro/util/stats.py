@@ -1,0 +1,134 @@
+"""Summary statistics and histograms for invocation-runtime analysis.
+
+Table 4 reports mean/std/min/max of invocation run times and Figure 7
+shows their histograms; these classes regenerate both from raw traces
+without pulling in a plotting dependency.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class SummaryStats:
+    """Mean, (sample) standard deviation, min, max, and count of a sample."""
+
+    count: int
+    mean: float
+    std: float
+    min: float
+    max: float
+
+    def row(self, precision: int = 2) -> Tuple[str, str, str, str]:
+        """Format as the four columns of Table 4."""
+        fmt = f"{{:.{precision}f}}"
+        return (
+            fmt.format(self.mean),
+            fmt.format(self.std),
+            fmt.format(self.min),
+            fmt.format(self.max),
+        )
+
+
+def summarize(values: Sequence[float]) -> SummaryStats:
+    """Compute :class:`SummaryStats` over ``values``.
+
+    Uses the sample standard deviation (ddof=1) when two or more values are
+    present, matching how the paper reports spread; a single observation
+    has zero spread by definition here.
+    """
+    if not values:
+        raise ValueError("cannot summarize an empty sample")
+    n = len(values)
+    mean = sum(values) / n
+    if n > 1:
+        var = sum((v - mean) ** 2 for v in values) / (n - 1)
+    else:
+        var = 0.0
+    return SummaryStats(
+        count=n, mean=mean, std=math.sqrt(var), min=min(values), max=max(values)
+    )
+
+
+class Histogram:
+    """Fixed-width histogram over ``[lo, hi)`` with overflow tracking.
+
+    Figure 7 clips its display at 40 seconds "for better visualization";
+    ``overflow`` keeps the count of clipped observations so the clip is
+    explicit rather than silent.
+    """
+
+    def __init__(self, lo: float, hi: float, bins: int):
+        if hi <= lo:
+            raise ValueError("hi must exceed lo")
+        if bins <= 0:
+            raise ValueError("bins must be positive")
+        self.lo = lo
+        self.hi = hi
+        self.bins = bins
+        self.counts: List[int] = [0] * bins
+        self.underflow = 0
+        self.overflow = 0
+        self._width = (hi - lo) / bins
+
+    def add(self, value: float) -> None:
+        if value < self.lo:
+            self.underflow += 1
+        elif value >= self.hi:
+            self.overflow += 1
+        else:
+            self.counts[int((value - self.lo) / self._width)] += 1
+
+    def extend(self, values: Iterable[float]) -> None:
+        for v in values:
+            self.add(v)
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts) + self.underflow + self.overflow
+
+    def edges(self) -> List[float]:
+        """Bin edges, length ``bins + 1``."""
+        return [self.lo + i * self._width for i in range(self.bins + 1)]
+
+    def mode_range(self) -> Tuple[float, float]:
+        """The ``[lo, hi)`` range of the most populated bin.
+
+        Used to check Figure 7's qualitative claim that L1 invocations
+        cluster around 12-20s, L2 around 10-16s, and L3 around 3-7s.
+        """
+        idx = max(range(self.bins), key=lambda i: self.counts[i])
+        return (self.lo + idx * self._width, self.lo + (idx + 1) * self._width)
+
+    def render(self, width: int = 50, label_fmt: str = "{:6.1f}") -> str:
+        """ASCII rendering, one row per bin, bar lengths scaled to ``width``."""
+        peak = max(self.counts) if any(self.counts) else 1
+        lines = []
+        for i, count in enumerate(self.counts):
+            lo = self.lo + i * self._width
+            bar = "#" * max(0, round(width * count / peak))
+            lines.append(f"{label_fmt.format(lo)}s | {bar} {count}")
+        if self.overflow:
+            lines.append(f">{self.hi:.0f}s clipped: {self.overflow}")
+        return "\n".join(lines)
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolated percentile ``q`` in [0, 100] of ``values``."""
+    if not values:
+        raise ValueError("cannot take a percentile of an empty sample")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError("q must be within [0, 100]")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    pos = (len(ordered) - 1) * q / 100.0
+    lo = int(math.floor(pos))
+    hi = int(math.ceil(pos))
+    if lo == hi:
+        return ordered[lo]
+    frac = pos - lo
+    return ordered[lo] * (1 - frac) + ordered[hi] * frac

@@ -1,0 +1,83 @@
+"""Monotonic timing helpers used for overhead breakdowns.
+
+Table 5 of the paper decomposes invocation latency into transfer, worker,
+library, and execution components; these helpers give every layer of the
+real engine a uniform way to record those components.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+class Timer:
+    """Context manager measuring wall-clock duration with a monotonic clock.
+
+    >>> with Timer() as t:
+    ...     pass
+    >>> t.elapsed >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self._start: float | None = None
+        self.elapsed: float = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._start = time.monotonic()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        assert self._start is not None
+        self.elapsed = time.monotonic() - self._start
+
+
+@dataclass
+class Stopwatch:
+    """Accumulates named time spans for an overhead breakdown.
+
+    Spans with the same name accumulate, so repeated phases (e.g. several
+    cache probes within one task dispatch) sum into one component.
+    """
+
+    spans: Dict[str, float] = field(default_factory=dict)
+    _open: Dict[str, float] = field(default_factory=dict)
+
+    def start(self, name: str) -> None:
+        if name in self._open:
+            raise ValueError(f"span {name!r} already started")
+        self._open[name] = time.monotonic()
+
+    def stop(self, name: str) -> float:
+        try:
+            begun = self._open.pop(name)
+        except KeyError:
+            raise ValueError(f"span {name!r} was not started") from None
+        duration = time.monotonic() - begun
+        self.spans[name] = self.spans.get(name, 0.0) + duration
+        return duration
+
+    def measure(self, name: str) -> "_SpanContext":
+        """Return a context manager recording one span named ``name``."""
+        return _SpanContext(self, name)
+
+    def total(self) -> float:
+        """Sum of all recorded spans (open spans are excluded)."""
+        return sum(self.spans.values())
+
+    def as_dict(self) -> Dict[str, float]:
+        return dict(self.spans)
+
+
+class _SpanContext:
+    def __init__(self, watch: Stopwatch, name: str) -> None:
+        self._watch = watch
+        self._name = name
+
+    def __enter__(self) -> None:
+        self._watch.start(self._name)
+
+    def __exit__(self, *exc: object) -> None:
+        self._watch.stop(self._name)

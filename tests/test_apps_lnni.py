@@ -1,0 +1,123 @@
+"""Unit tests for the LNNI application (MiniResNet + data + workload fns)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.lnni.data import synthetic_images
+from repro.apps.lnni.model import MiniResNet, ModelConfig
+from repro.apps.lnni.workload import lnni_context_setup, lnni_task, save_pretrained
+from repro.errors import ReproError
+
+
+@pytest.fixture(scope="module")
+def model():
+    return MiniResNet()
+
+
+# ---------------------------------------------------------------------- model
+def test_forward_shapes(model):
+    images = synthetic_images(4)
+    logits = model.forward(images)
+    assert logits.shape == (4, 1000)
+    preds = model.classify(images)
+    assert preds.shape == (4,)
+    assert ((0 <= preds) & (preds < 1000)).all()
+
+
+def test_forward_rejects_bad_shapes(model):
+    with pytest.raises(ReproError):
+        model.forward(np.zeros((4, 1, 32, 32), dtype=np.float32))
+    with pytest.raises(ReproError):
+        model.forward(np.zeros((4, 32, 32), dtype=np.float32))
+
+
+def test_deterministic_construction():
+    a = MiniResNet()
+    b = MiniResNet()
+    images = synthetic_images(2)
+    assert np.allclose(a.forward(images), b.forward(images))
+
+
+def test_different_seed_changes_weights():
+    a = MiniResNet(ModelConfig(seed=1))
+    b = MiniResNet(ModelConfig(seed=2))
+    images = synthetic_images(2)
+    assert not np.allclose(a.forward(images), b.forward(images))
+
+
+def test_output_depends_on_input(model):
+    a = synthetic_images(1, seed=1)
+    b = synthetic_images(1, seed=2)
+    assert not np.allclose(model.forward(a), model.forward(b))
+
+
+def test_parameter_count_positive(model):
+    n = model.num_parameters()
+    assert n > 100_000  # big enough that loading is a real context cost
+
+
+def test_weights_roundtrip(model):
+    blob = model.save_weights()
+    other = MiniResNet()
+    other.load_weights(blob)
+    images = synthetic_images(3)
+    assert np.allclose(model.forward(images), other.forward(images))
+
+
+def test_weights_shape_mismatch_rejected():
+    small = MiniResNet(ModelConfig(stage_channels=(8,), blocks_per_stage=1))
+    big = MiniResNet()
+    with pytest.raises(ReproError):
+        big.load_weights(small.save_weights())
+
+
+def test_config_validation():
+    with pytest.raises(ReproError):
+        ModelConfig(image_size=7).validate()
+    with pytest.raises(ReproError):
+        ModelConfig(stage_channels=()).validate()
+
+
+def test_downsample_blocks_created():
+    model = MiniResNet(ModelConfig(stage_channels=(8, 16), blocks_per_stage=1))
+    downsamples = [b for b in model.blocks if b.downsample is not None]
+    assert downsamples  # stage transition requires a projection
+
+
+# ----------------------------------------------------------------------- data
+def test_synthetic_images_shape_and_range():
+    images = synthetic_images(5, size=16, channels=3, seed=9)
+    assert images.shape == (5, 3, 16, 16)
+    assert images.min() >= 0.0 and images.max() <= 1.0
+
+
+def test_synthetic_images_deterministic():
+    assert np.array_equal(synthetic_images(2, seed=4), synthetic_images(2, seed=4))
+    assert not np.array_equal(synthetic_images(2, seed=4), synthetic_images(2, seed=5))
+
+
+def test_synthetic_images_rejects_zero():
+    with pytest.raises(ReproError):
+        synthetic_images(0)
+
+
+# ------------------------------------------------------------------- workload
+def test_save_pretrained_is_stable():
+    assert save_pretrained() == save_pretrained()
+
+
+def test_context_setup_returns_model(tmp_path, monkeypatch):
+    (tmp_path / "weights.npz.bin").write_bytes(save_pretrained())
+    monkeypatch.chdir(tmp_path)
+    ns = lnni_context_setup()
+    assert "model" in ns
+    preds = ns["model"].classify(synthetic_images(2))
+    assert preds.shape == (2,)
+
+
+def test_lnni_task_standalone(tmp_path, monkeypatch):
+    (tmp_path / "weights.npz.bin").write_bytes(save_pretrained())
+    monkeypatch.chdir(tmp_path)
+    out = lnni_task(0, 4)
+    assert len(out) == 4
+    assert all(isinstance(v, int) for v in out)

@@ -1,0 +1,139 @@
+"""Unit tests for data bindings and FunctionContext assembly."""
+
+import pytest
+
+from repro.discover.context import FunctionContext, discover_context
+from repro.discover.data import DataBinding, declare_data
+from repro.errors import DiscoveryError
+
+
+def fn_a(x):
+    return x + 1
+
+
+def fn_b(x):
+    return x * 2
+
+
+def setup_fn(seed):
+    global state
+    state = seed
+
+
+# ----------------------------------------------------------------- data bindings
+def test_declare_inline_data():
+    b = declare_data(b"payload", remote_name="data.bin")
+    assert b.size == 7
+    assert b.read() == b"payload"
+    assert b.cache and b.peer_transfer
+
+
+def test_declare_inline_requires_name():
+    with pytest.raises(DiscoveryError):
+        declare_data(b"payload")
+
+
+def test_declare_file_data(tmp_path):
+    path = tmp_path / "input.dat"
+    path.write_bytes(b"abc")
+    b = declare_data(str(path))
+    assert b.remote_name == "input.dat"
+    assert b.size == 3
+    assert b.read() == b"abc"
+
+
+def test_declare_missing_file_rejected(tmp_path):
+    with pytest.raises(DiscoveryError):
+        declare_data(str(tmp_path / "ghost.dat"))
+
+
+def test_binding_rejects_nested_remote_name():
+    with pytest.raises(DiscoveryError):
+        DataBinding(remote_name="a/b", content_hash="0" * 64, size=1, inline_data=b"x")
+
+
+def test_binding_needs_exactly_one_source():
+    with pytest.raises(DiscoveryError):
+        DataBinding(remote_name="x", content_hash="0" * 64, size=1)
+
+
+# ----------------------------------------------------------------- contexts
+def test_discover_context_captures_functions():
+    ctx = discover_context("lib", [fn_a, fn_b], scan_dependencies=False)
+    assert ctx.function_names() == ["fn_a", "fn_b"]
+    assert ctx.setup is None
+
+
+def test_discover_context_with_setup():
+    ctx = discover_context(
+        "lib", [fn_a], setup=setup_fn, setup_args=[42], scan_dependencies=False
+    )
+    assert ctx.setup is not None
+    assert ctx.setup_args == (42,)
+
+
+def test_discover_context_requires_functions():
+    with pytest.raises(DiscoveryError):
+        discover_context("lib", [])
+
+
+def test_context_hash_is_stable():
+    a = discover_context("lib", [fn_a], scan_dependencies=False)
+    b = discover_context("lib", [fn_a], scan_dependencies=False)
+    assert a.hash == b.hash
+
+
+def test_context_hash_changes_with_content():
+    a = discover_context("lib", [fn_a], scan_dependencies=False)
+    b = discover_context("lib", [fn_a, fn_b], scan_dependencies=False)
+    assert a.hash != b.hash
+
+
+def test_context_data_idempotent_redeclaration():
+    ctx = FunctionContext(name="lib")
+    b = declare_data(b"x", remote_name="d.bin")
+    ctx.add_data(b)
+    ctx.add_data(b)
+    assert len(ctx.data) == 1
+
+
+def test_context_rejects_conflicting_data():
+    ctx = FunctionContext(name="lib")
+    ctx.add_data(declare_data(b"x", remote_name="d.bin"))
+    with pytest.raises(DiscoveryError):
+        ctx.add_data(declare_data(b"y", remote_name="d.bin"))
+
+
+def test_context_rejects_conflicting_function_names():
+    ctx = FunctionContext(name="lib")
+    ctx.add_function(fn_a)
+
+    def fn_a_clone(x):  # same name, different body
+        return x - 1
+
+    fn_a_clone.__name__ = "fn_a"
+    with pytest.raises(DiscoveryError):
+        ctx.add_function(fn_a_clone)
+
+
+def test_context_elements_inventory():
+    ctx = discover_context(
+        "lib",
+        [fn_a],
+        setup=setup_fn,
+        data=[declare_data(b"data", remote_name="d.bin")],
+        scan_dependencies=False,
+    )
+    kinds = sorted(e.kind for e in ctx.elements())
+    assert kinds == ["code", "data", "environment", "setup"]
+
+
+def test_context_excludes_repro_from_environment():
+    def needs_repro(x):
+        import repro
+
+        return repro.__version__
+
+    ctx = discover_context("lib", [needs_repro], scan_dependencies=True)
+    assert "repro" not in ctx.environment.module_names()
+    assert all(not m.module.startswith("repro") for m in ctx.environment.modules)

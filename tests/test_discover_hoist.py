@@ -1,0 +1,158 @@
+"""Unit + integration tests for automatic context hoisting."""
+
+import pytest
+
+from repro.discover.hoist import build_hoisted_context, hoist_context
+from repro.errors import DiscoveryError
+
+
+def monolithic(x):
+    """Docstring rides along."""
+    import math
+
+    table = [math.sqrt(i) for i in range(100)]
+    scale = sum(table)
+    result = x * scale
+    return result
+
+
+def arg_first(x):
+    y = x + 1
+    import math
+
+    return math.floor(y)
+
+
+def nothing_to_hoist(x):
+    return x + 1
+
+
+def control_flow_hoistable(x):
+    limit = 50
+    values = []
+    for i in range(limit):
+        values.append(i * 2)
+    return values[x]
+
+
+def tainted_control_flow(x):
+    if x > 0:
+        bias = 1
+    else:
+        bias = -1
+    return bias
+
+
+def shadows_hoisted(x):
+    table = list(range(10))
+    total = sum(table)
+    table = [x]  # redefinition AFTER a tainted read barrier? no - before
+    return total + table[0]
+
+
+def test_hoist_moves_parameter_free_prefix():
+    result = hoist_context(monolithic)
+    assert result.hoisted_statements >= 2
+    assert "table" in result.hoisted_names and "scale" in result.hoisted_names
+    assert "x * scale" in result.invoke_source
+    assert "import math" in result.setup_source
+
+
+def test_hoisted_pair_behaves_like_original():
+    result = hoist_context(monolithic)
+    setup, invoke = result.materialize()
+    setup()
+    for x in (0.0, 1.5, -2.0):
+        assert invoke(x) == pytest.approx(monolithic(x))
+
+
+def test_setup_runs_once_semantics():
+    result = hoist_context(monolithic)
+    setup, invoke = result.materialize()
+    setup()
+    first = invoke(2.0)
+    second = invoke(2.0)  # no setup in between
+    assert first == second == pytest.approx(monolithic(2.0))
+
+
+def test_arg_tainted_first_statement_blocks_hoisting():
+    result = hoist_context(arg_first)
+    assert result.hoisted_statements == 0
+    setup, invoke = result.materialize()
+    setup()
+    assert invoke(1.2) == 2
+
+
+def test_nothing_to_hoist_gives_pass_setup():
+    result = hoist_context(nothing_to_hoist)
+    assert result.hoisted_statements == 0
+    assert "pass" in result.setup_source
+    setup, invoke = result.materialize()
+    setup()
+    assert invoke(41) == 42
+
+
+def test_untainted_control_flow_hoists():
+    result = hoist_context(control_flow_hoistable)
+    assert "values" in result.hoisted_names
+    setup, invoke = result.materialize()
+    setup()
+    assert invoke(3) == 6
+
+
+def test_tainted_control_flow_stays():
+    result = hoist_context(tainted_control_flow)
+    assert result.hoisted_statements == 0
+    setup, invoke = result.materialize()
+    setup()
+    assert invoke(5) == 1 and invoke(-5) == -1
+
+
+def test_shadowing_preserved():
+    result = hoist_context(shadows_hoisted)
+    setup, invoke = result.materialize()
+    setup()
+    assert invoke(7) == shadows_hoisted(7)
+
+
+def test_return_never_hoisted():
+    def returns_const(x):
+        return 5
+
+    result = hoist_context(returns_const)
+    assert result.hoisted_statements == 0
+
+
+def test_lambda_rejected():
+    with pytest.raises(DiscoveryError):
+        hoist_context(lambda x: x)
+
+
+def test_build_hoisted_context_shape():
+    ctx = build_hoisted_context("hoisted", monolithic)
+    assert ctx.function_names() == ["monolithic"]
+    assert ctx.setup is not None
+    assert ctx.setup.name == "monolithic_context_setup"
+
+
+def test_build_hoisted_context_rejects_unknown_kwargs():
+    with pytest.raises(DiscoveryError, match="unknown arguments"):
+        build_hoisted_context("h", monolithic, bogus=1)
+
+
+def test_hoisted_context_runs_on_real_engine():
+    """End-to-end: the auto-hoisted context serves invocations from a
+    library process with the setup executed once."""
+    from repro.engine import FunctionCall, LocalWorkerFactory, Manager
+    from repro.engine.task import LibraryTask
+
+    ctx = build_hoisted_context("auto", monolithic)
+    with Manager() as manager:
+        manager.install_library(LibraryTask(ctx, function_slots=2))
+        with LocalWorkerFactory(manager, count=1, cores=2):
+            calls = [FunctionCall("auto", "monolithic", float(i)) for i in range(4)]
+            for c in calls:
+                manager.submit(c)
+            manager.wait_all(calls, timeout=120)
+            for i, c in enumerate(calls):
+                assert c.result == pytest.approx(monolithic(float(i)))

@@ -1,0 +1,91 @@
+"""Unit tests for AST import scanning (the Poncho analog)."""
+
+import numpy as real_numpy  # noqa: F401 - used via module-scope reference below
+
+from repro.discover.imports import scan_imports, scan_imports_source, union_imports
+
+
+def uses_inline_import(x):
+    import numpy
+
+    return numpy.sum(x)
+
+
+def uses_from_import(x):
+    from collections import OrderedDict
+
+    return OrderedDict(a=x)
+
+
+def uses_module_global(x):
+    return real_numpy.sum(x)
+
+
+def no_imports(x):
+    return x + 1
+
+
+def test_scan_source_plain_import():
+    assert scan_imports_source("import numpy\n") == {"numpy"}
+
+
+def test_scan_source_submodule_import_collapses_to_top():
+    assert scan_imports_source("import numpy.linalg\n") == {"numpy"}
+
+
+def test_scan_source_from_import():
+    assert scan_imports_source("from numpy import array\n") == {"numpy"}
+
+
+def test_scan_source_relative_import_skipped():
+    assert scan_imports_source("from . import sibling\n") == set()
+
+
+def test_scan_source_stdlib_filtered_by_default():
+    assert scan_imports_source("import os\nimport json\n") == set()
+    assert scan_imports_source("import os\n", include_stdlib=True) == {"os"}
+
+
+def test_scan_source_nested_imports_found():
+    src = "def f():\n    import numpy\n    return numpy\n"
+    assert scan_imports_source(src) == {"numpy"}
+
+
+def test_scan_source_aliased_import():
+    assert scan_imports_source("import numpy as np\n") == {"numpy"}
+
+
+def test_scan_function_inline_import():
+    assert "numpy" in scan_imports(uses_inline_import)
+
+
+def test_scan_function_stdlib_from_import_filtered():
+    assert scan_imports(uses_from_import) == set()
+
+
+def test_scan_function_module_global_reference():
+    # `real_numpy` is bound at module scope; the scanner resolves the
+    # referenced global through __globals__ to the numpy module.
+    assert "numpy" in scan_imports(uses_module_global)
+
+
+def test_scan_function_without_imports():
+    assert scan_imports(no_imports) == set()
+
+
+def test_scan_lambda_returns_empty():
+    assert scan_imports(lambda x: x) == set()
+
+
+def test_union_imports():
+    deps = union_imports([uses_inline_import, uses_from_import, no_imports])
+    assert deps == {"numpy"}
+
+
+def test_scan_source_bad_syntax_raises():
+    import pytest
+
+    from repro.errors import DiscoveryError
+
+    with pytest.raises(DiscoveryError):
+        scan_imports_source("def broken(:\n")

@@ -1,0 +1,89 @@
+"""Unit tests for the fluid broadcast evaluator."""
+
+import pytest
+
+from repro.distribute.broadcast import broadcast_makespan, simulate_plan
+from repro.distribute.plan import plan_broadcast
+from repro.distribute.topology import TransferMode, Topology, uniform_topology
+from repro.errors import DistributionError
+
+
+def test_single_worker_takes_size_over_bandwidth():
+    topo = uniform_topology(1, bandwidth=100.0)
+    plan = plan_broadcast(topo, "obj", 1000, TransferMode.MANAGER_ONLY)
+    result = simulate_plan(topo, plan, per_transfer_latency=0.0)
+    assert result.makespan == pytest.approx(10.0, rel=1e-6)
+
+
+def test_manager_only_serializes():
+    topo = uniform_topology(4, bandwidth=100.0)
+    plan = plan_broadcast(topo, "obj", 1000, TransferMode.MANAGER_ONLY)
+    result = simulate_plan(topo, plan, per_transfer_latency=0.0)
+    # Four sequential 10s sends.
+    assert result.makespan == pytest.approx(40.0, rel=1e-6)
+    arrivals = sorted(result.arrival.values())
+    assert arrivals == pytest.approx([10.0, 20.0, 30.0, 40.0], rel=1e-6)
+
+
+def test_peer_beats_manager_only():
+    topo = uniform_topology(30)
+    slow = broadcast_makespan(topo, 10**9, TransferMode.MANAGER_ONLY)
+    fast = broadcast_makespan(topo, 10**9, TransferMode.PEER)
+    assert fast < slow / 2
+
+
+def test_peer_scales_logarithmically():
+    small = broadcast_makespan(uniform_topology(8), 10**9, TransferMode.PEER)
+    large = broadcast_makespan(uniform_topology(64), 10**9, TransferMode.PEER)
+    # 8x the workers should cost far less than 8x the time.
+    assert large < small * 3
+
+
+def test_cluster_aware_avoids_slow_links():
+    topo = Topology(inter_cluster_bandwidth=1e6)  # painful cross-cluster links
+    for i in range(10):
+        topo.add_worker(f"a{i}", cluster="one")
+    for i in range(10):
+        topo.add_worker(f"b{i}", cluster="two")
+    naive = broadcast_makespan(topo, 10**8, TransferMode.PEER)
+    aware = broadcast_makespan(topo, 10**8, TransferMode.CLUSTER_AWARE)
+    assert aware < naive
+
+
+def test_arrival_times_respect_dependencies():
+    topo = uniform_topology(10)
+    plan = plan_broadcast(topo, "obj", 10**7, TransferMode.PEER, peer_cap=2)
+    result = simulate_plan(topo, plan)
+    arrival = dict(result.arrival)
+    arrival["manager"] = 0.0
+    for t in plan.transfers:
+        assert arrival[t.dest] > arrival[t.source]
+
+
+def test_zero_workers_plan():
+    topo = uniform_topology(0)
+    plan = plan_broadcast(topo, "obj", 100, TransferMode.PEER)
+    result = simulate_plan(topo, plan)
+    assert result.makespan == 0.0
+    assert result.mean_arrival() == 0.0
+
+
+def test_deadlocked_plan_detected():
+    from repro.distribute.plan import Transfer, TransferPlan
+
+    topo = uniform_topology(2)
+    plan = TransferPlan("obj", 1, TransferMode.PEER)
+    # Hand-built circular plan bypassing validation.
+    plan.transfers = [
+        Transfer("worker-0000", "worker-0001", "obj", 1),
+        Transfer("worker-0001", "worker-0000", "obj", 1),
+    ]
+    with pytest.raises(DistributionError, match="deadlock"):
+        simulate_plan(topo, plan)
+
+
+def test_mean_arrival_below_makespan():
+    topo = uniform_topology(16)
+    plan = plan_broadcast(topo, "obj", 10**8, TransferMode.MANAGER_ONLY)
+    result = simulate_plan(topo, plan)
+    assert result.mean_arrival() < result.makespan

@@ -1,0 +1,186 @@
+"""Unit + property tests for topology and broadcast planning."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.distribute.plan import Transfer, TransferPlan, plan_broadcast
+from repro.distribute.topology import Topology, TransferMode, uniform_topology
+from repro.errors import DistributionError
+
+
+# ------------------------------------------------------------------- topology
+def test_uniform_topology_counts():
+    topo = uniform_topology(5)
+    assert len(topo.workers) == 5
+    assert topo.clusters() == ["local"]
+
+
+def test_topology_duplicate_worker_rejected():
+    topo = uniform_topology(1)
+    with pytest.raises(DistributionError):
+        topo.add_worker("worker-0000")
+
+
+def test_topology_reserved_manager_name():
+    with pytest.raises(DistributionError):
+        uniform_topology(0).add_worker("manager")
+
+
+def test_topology_bandwidth_lookup():
+    topo = uniform_topology(2, bandwidth=100.0)
+    topo.add_worker("fast", bandwidth=500.0)
+    assert topo.bandwidth("worker-0000") == 100.0
+    assert topo.bandwidth("fast") == 500.0
+    assert topo.bandwidth("manager") == 100.0
+
+
+def test_topology_unknown_endpoint_rejected():
+    with pytest.raises(DistributionError):
+        uniform_topology(1).bandwidth("ghost")
+
+
+def test_link_bandwidth_inter_cluster_capped():
+    topo = Topology(inter_cluster_bandwidth=10.0)
+    topo.add_worker("a", cluster="one", bandwidth=100.0)
+    topo.add_worker("b", cluster="two", bandwidth=100.0)
+    topo.add_worker("c", cluster="one", bandwidth=100.0)
+    assert topo.link_bandwidth("a", "b") == 10.0
+    assert topo.link_bandwidth("a", "c") == 100.0
+    assert topo.link_bandwidth("manager", "a") == 100.0
+
+
+def test_negative_bandwidth_rejected():
+    with pytest.raises(DistributionError):
+        uniform_topology(0).add_worker("w", bandwidth=-1.0)
+
+
+# ----------------------------------------------------------------------- plans
+def test_manager_only_plan_all_from_manager():
+    topo = uniform_topology(4)
+    plan = plan_broadcast(topo, "obj", 100, TransferMode.MANAGER_ONLY)
+    assert all(t.source == "manager" for t in plan.transfers)
+    assert len(plan.transfers) == 4
+
+
+def test_peer_plan_relays_through_workers():
+    topo = uniform_topology(10)
+    plan = plan_broadcast(topo, "obj", 100, TransferMode.PEER, peer_cap=2)
+    sources = {t.source for t in plan.transfers}
+    assert sources - {"manager"}  # workers act as relays
+    # Manager fans out at most peer_cap per round but multiple rounds occur.
+    assert plan.depth() >= 2
+
+
+def test_peer_plan_depth_logarithmic():
+    topo = uniform_topology(100)
+    plan = plan_broadcast(topo, "obj", 100, TransferMode.PEER, peer_cap=3)
+    # Holders grow ~x4 per round: depth should be near log4(100) ~ 4.
+    assert plan.depth() <= math.ceil(math.log(101, 4)) + 2
+
+
+def test_manager_only_depth_is_one():
+    topo = uniform_topology(7)
+    plan = plan_broadcast(topo, "obj", 1, TransferMode.MANAGER_ONLY)
+    assert plan.depth() == 1
+
+
+def test_cluster_aware_seeds_each_cluster_once():
+    topo = Topology()
+    for i in range(4):
+        topo.add_worker(f"a{i}", cluster="one")
+    for i in range(4):
+        topo.add_worker(f"b{i}", cluster="two")
+    plan = plan_broadcast(topo, "obj", 100, TransferMode.CLUSTER_AWARE, peer_cap=2)
+    from_manager = [t for t in plan.transfers if t.source == "manager"]
+    assert len(from_manager) == 2  # one seed per cluster
+    # No worker-to-worker transfer crosses clusters.
+    for t in plan.transfers:
+        if t.source != "manager":
+            assert topo.cluster_of[t.source] == topo.cluster_of[t.dest]
+
+
+def test_plan_subset_destinations():
+    topo = uniform_topology(6)
+    dests = topo.workers[:3]
+    plan = plan_broadcast(topo, "obj", 1, TransferMode.PEER, destinations=dests)
+    assert {t.dest for t in plan.transfers} == set(dests)
+
+
+def test_plan_unknown_destination_rejected():
+    topo = uniform_topology(2)
+    with pytest.raises(DistributionError):
+        plan_broadcast(topo, "obj", 1, TransferMode.PEER, destinations=["ghost"])
+
+
+def test_plan_bad_params_rejected():
+    topo = uniform_topology(2)
+    with pytest.raises(DistributionError):
+        plan_broadcast(topo, "obj", -1, TransferMode.PEER)
+    with pytest.raises(DistributionError):
+        plan_broadcast(topo, "obj", 1, TransferMode.PEER, peer_cap=0)
+
+
+# ------------------------------------------------------------ plan validation
+def test_validate_catches_premature_source():
+    plan = TransferPlan("obj", 1, TransferMode.PEER)
+    plan.transfers = [Transfer("w1", "w2", "obj", 1)]  # w1 never received it
+    with pytest.raises(DistributionError, match="before receiving"):
+        plan.validate(["w2"])
+
+
+def test_validate_catches_duplicate_delivery():
+    plan = TransferPlan("obj", 1, TransferMode.PEER)
+    plan.transfers = [
+        Transfer("manager", "w1", "obj", 1),
+        Transfer("manager", "w1", "obj", 1),
+    ]
+    with pytest.raises(DistributionError, match="twice"):
+        plan.validate(["w1"])
+
+
+def test_validate_catches_missing_destination():
+    plan = TransferPlan("obj", 1, TransferMode.PEER)
+    plan.transfers = [Transfer("manager", "w1", "obj", 1)]
+    with pytest.raises(DistributionError, match="misses"):
+        plan.validate(["w1", "w2"])
+
+
+def test_validate_catches_self_transfer():
+    plan = TransferPlan("obj", 1, TransferMode.PEER)
+    plan.transfers = [Transfer("manager", "manager", "obj", 1)]
+    with pytest.raises(DistributionError, match="self"):
+        plan.validate([])
+
+
+@settings(deadline=None, max_examples=40)
+@given(
+    n_workers=st.integers(min_value=1, max_value=60),
+    peer_cap=st.integers(min_value=1, max_value=5),
+    mode=st.sampled_from(list(TransferMode)),
+)
+def test_all_plans_are_valid_property(n_workers, peer_cap, mode):
+    """Every generated plan passes its own soundness validation (which
+    plan_broadcast runs internally) and covers all workers exactly once."""
+    topo = uniform_topology(n_workers)
+    plan = plan_broadcast(topo, "obj", 1000, mode, peer_cap=peer_cap)
+    assert len(plan.transfers) == n_workers
+    assert {t.dest for t in plan.transfers} == set(topo.workers)
+
+
+@settings(deadline=None, max_examples=30)
+@given(
+    n_workers=st.integers(min_value=2, max_value=50),
+    peer_cap=st.integers(min_value=1, max_value=4),
+)
+def test_peer_cap_bounds_concurrency_property(n_workers, peer_cap):
+    """Under evaluation, no source ever runs more than ``peer_cap``
+    concurrent outbound transfers — the paper's anti-sink cap."""
+    from repro.distribute.broadcast import simulate_plan
+
+    topo = uniform_topology(n_workers)
+    plan = plan_broadcast(topo, "obj", 10**6, TransferMode.PEER, peer_cap=peer_cap)
+    result = simulate_plan(topo, plan)
+    assert result.peak_concurrency
+    assert max(result.peak_concurrency.values()) <= peer_cap

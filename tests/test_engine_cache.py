@@ -1,0 +1,155 @@
+"""Unit + property tests for the worker cache (pinning + LRU eviction)."""
+
+import os
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.engine.cache import WorkerCache
+from repro.errors import CacheError
+from repro.util.hashing import hash_bytes
+
+
+def make_cache(tmp_path, capacity=None, sub="c"):
+    return WorkerCache(str(tmp_path / sub), capacity)
+
+
+def test_insert_and_retrieve(tmp_path):
+    cache = make_cache(tmp_path)
+    data = b"hello cache"
+    digest = hash_bytes(data)
+    path = cache.insert_bytes(digest, data)
+    assert open(path, "rb").read() == data
+    assert digest in cache
+    assert cache.path_of(digest) == path
+
+
+def test_miss_raises_and_counts(tmp_path):
+    cache = make_cache(tmp_path)
+    with pytest.raises(CacheError):
+        cache.path_of("0" * 64)
+    assert cache.misses == 1
+
+
+def test_probe_does_not_raise(tmp_path):
+    cache = make_cache(tmp_path)
+    assert not cache.probe("0" * 64)
+    cache.insert_bytes("a" * 64, b"x")
+    assert cache.probe("a" * 64)
+    assert cache.hits == 1 and cache.misses == 1
+
+
+def test_idempotent_insert(tmp_path):
+    cache = make_cache(tmp_path)
+    cache.insert_bytes("a" * 64, b"x")
+    cache.insert_bytes("a" * 64, b"x")
+    assert cache.stats()["entries"] == 1
+
+
+def test_lru_eviction_order(tmp_path):
+    cache = make_cache(tmp_path, capacity=30)
+    cache.insert_bytes("a" * 64, b"0" * 10)
+    cache.insert_bytes("b" * 64, b"1" * 10)
+    cache.insert_bytes("c" * 64, b"2" * 10)
+    cache.path_of("a" * 64)  # touch a: b becomes LRU
+    cache.insert_bytes("d" * 64, b"3" * 10)
+    assert "b" * 64 not in cache
+    assert "a" * 64 in cache and "c" * 64 in cache and "d" * 64 in cache
+    assert cache.evictions == 1
+
+
+def test_pinned_entries_survive_eviction(tmp_path):
+    cache = make_cache(tmp_path, capacity=20)
+    cache.insert_bytes("a" * 64, b"0" * 10)
+    cache.pin("a" * 64)
+    cache.insert_bytes("b" * 64, b"1" * 10)
+    cache.insert_bytes("c" * 64, b"2" * 10)  # must evict b, not pinned a
+    assert "a" * 64 in cache
+    assert "b" * 64 not in cache
+
+
+def test_all_pinned_and_full_raises(tmp_path):
+    cache = make_cache(tmp_path, capacity=10)
+    cache.insert_bytes("a" * 64, b"0" * 10)
+    cache.pin("a" * 64)
+    with pytest.raises(CacheError, match="pinned"):
+        cache.insert_bytes("b" * 64, b"1" * 10)
+
+
+def test_object_larger_than_capacity_rejected(tmp_path):
+    cache = make_cache(tmp_path, capacity=5)
+    with pytest.raises(CacheError, match="exceeds"):
+        cache.insert_bytes("a" * 64, b"0" * 10)
+
+
+def test_pin_unpin_lifecycle(tmp_path):
+    cache = make_cache(tmp_path)
+    cache.insert_bytes("a" * 64, b"x")
+    cache.pin("a" * 64)
+    with pytest.raises(CacheError, match="pinned"):
+        cache.remove("a" * 64)
+    cache.unpin("a" * 64)
+    cache.remove("a" * 64)
+    assert "a" * 64 not in cache
+
+
+def test_unpin_errors(tmp_path):
+    cache = make_cache(tmp_path)
+    with pytest.raises(CacheError):
+        cache.unpin("0" * 64)
+    cache.insert_bytes("a" * 64, b"x")
+    with pytest.raises(CacheError, match="not pinned"):
+        cache.unpin("a" * 64)
+
+
+def test_insert_path_verifies_content(tmp_path):
+    cache = make_cache(tmp_path)
+    src = tmp_path / "incoming.bin"
+    src.write_bytes(b"transferred")
+    wrong = "f" * 64
+    with pytest.raises(CacheError, match="match"):
+        cache.insert_path(wrong, str(src))
+    src.write_bytes(b"transferred")
+    right = hash_bytes(b"transferred")
+    cache.insert_path(right, str(src))
+    assert right in cache
+    assert not src.exists()  # moved, not copied
+
+
+def test_register_dir_accounting(tmp_path):
+    cache = make_cache(tmp_path, capacity=100)
+    env = tmp_path / "envdir"
+    env.mkdir()
+    (env / "m.py").write_bytes(b"x = 1\n")
+    cache.register_dir("e" * 64, str(env), 60)
+    assert cache.used_bytes() == 60
+    cache.insert_bytes("a" * 64, b"0" * 30)
+    # A further insert must evict the directory (unpinned).
+    cache.insert_bytes("b" * 64, b"1" * 30)
+    assert "e" * 64 not in cache
+    assert not env.exists()
+
+
+def test_remove_missing_is_noop(tmp_path):
+    cache = make_cache(tmp_path)
+    cache.remove("0" * 64)  # should not raise
+
+
+@settings(deadline=None, max_examples=30)
+@given(
+    ops=st.lists(
+        st.tuples(st.integers(min_value=0, max_value=15), st.integers(min_value=1, max_value=40)),
+        max_size=40,
+    )
+)
+def test_capacity_never_exceeded_property(tmp_path_factory, ops):
+    """Whatever the insert sequence, used bytes stay within capacity."""
+    cache = WorkerCache(str(tmp_path_factory.mktemp("cache")), capacity=100)
+    for key_id, size in ops:
+        digest = format(key_id, "x") * 64
+        digest = digest[:64]
+        try:
+            cache.insert_bytes(digest, bytes(size))
+        except CacheError:
+            pass
+        assert cache.used_bytes() <= 100

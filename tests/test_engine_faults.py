@@ -1,0 +1,235 @@
+"""Fault tolerance, cancellation, eviction policy, and status reporting.
+
+Exercises the failure-handling promises of the engine layer: "task
+execution, result retrieval, worker acquisition and release, fault
+tolerance" (§3.1), plus the empty-library eviction of §3.5.2.
+"""
+
+import time
+
+import pytest
+
+from repro.engine import (
+    FunctionCall,
+    LocalWorkerFactory,
+    Manager,
+    PythonTask,
+    TaskState,
+)
+from repro.errors import TaskFailure
+
+
+def slow_task(seconds):
+    import time as _time
+
+    _time.sleep(seconds)
+    return seconds
+
+
+def quick(x):
+    return x + 1
+
+
+def lib_fn_a(x):
+    return ("a", x)
+
+
+def lib_fn_b(x):
+    return ("b", x)
+
+
+# ----------------------------------------------------------- worker failure
+def test_worker_loss_requeues_and_recovers():
+    """Kill the only worker mid-task; a replacement worker picks the task up."""
+    with Manager() as manager:
+        factory = LocalWorkerFactory(manager, count=1, cores=2, name_prefix="doomed")
+        factory.start()
+        task = PythonTask(slow_task, 8)
+        manager.submit(task)
+        # Let it dispatch, then murder the worker process.
+        deadline = time.monotonic() + 30
+        while task.state is not TaskState.DISPATCHED and time.monotonic() < deadline:
+            manager.wait(timeout=0.1)
+        assert task.state is TaskState.DISPATCHED
+        factory.procs[0].kill()
+        # Drive the loop until the loss is noticed and the task requeued.
+        deadline = time.monotonic() + 30
+        while task.state is TaskState.DISPATCHED and time.monotonic() < deadline:
+            manager.wait(timeout=0.2)
+        assert task.state is TaskState.SUBMITTED
+        assert manager.stats["requeued"] == 1
+        factory.stop()
+        # A fresh worker completes the requeued task (shortened by patching
+        # the argument is impossible — so submit a quick task to verify the
+        # replacement pool is functional, then wait out the original).
+        replacement = LocalWorkerFactory(manager, count=1, cores=2, name_prefix="fresh")
+        replacement.start()
+        try:
+            probe = PythonTask(quick, 1)
+            manager.submit(probe)
+            manager.wait_all([probe], timeout=60)
+            assert probe.result == 2
+            manager.wait_all([task], timeout=120)
+            assert task.result == 8
+        finally:
+            replacement.stop()
+
+
+# ------------------------------------------------------------- cancellation
+def test_cancel_queued_task():
+    with Manager() as manager:  # no workers: tasks stay queued
+        task = PythonTask(quick, 1)
+        manager.submit(task)
+        assert manager.cancel(task)
+        assert task.state is TaskState.FAILED
+        with pytest.raises(TaskFailure, match="cancelled"):
+            _ = task.result
+        done = manager.wait(timeout=0.2)
+        assert done is task
+
+
+def test_cancel_running_task():
+    with Manager() as manager, LocalWorkerFactory(manager, count=1, cores=2):
+        task = PythonTask(slow_task, 30)
+        manager.submit(task)
+        deadline = time.monotonic() + 30
+        while task.state is not TaskState.DISPATCHED and time.monotonic() < deadline:
+            manager.wait(timeout=0.1)
+        assert manager.cancel(task)
+        manager.wait_all([task], timeout=60)
+        with pytest.raises(TaskFailure, match="cancelled"):
+            _ = task.result
+
+
+def test_cancel_dispatched_invocation_refused():
+    def ticker(n):
+        import time as _time
+
+        _time.sleep(n)
+        return n
+
+    with Manager() as manager:
+        library = manager.create_library_from_functions("tick", ticker)
+        manager.install_library(library)
+        with LocalWorkerFactory(manager, count=1, cores=2):
+            call = FunctionCall("tick", "ticker", 3)
+            manager.submit(call)
+            deadline = time.monotonic() + 30
+            while call.state is not TaskState.DISPATCHED and time.monotonic() < deadline:
+                manager.wait(timeout=0.1)
+            assert not manager.cancel(call)  # direct-mode: not interruptible
+            manager.wait_all([call], timeout=60)
+            assert call.result == 3
+
+
+# -------------------------------------------------------------- eviction flag
+def test_eviction_enables_second_library():
+    """On a 1-core worker, library B can only run after idle library A is
+    reclaimed — the §3.5.2 empty-library mechanism."""
+    with Manager() as manager:
+        for name, fn in (("liba", lib_fn_a), ("libb", lib_fn_b)):
+            manager.install_library(manager.create_library_from_functions(name, fn))
+        with LocalWorkerFactory(manager, count=1, cores=1):
+            first = FunctionCall("liba", "lib_fn_a", 1)
+            manager.submit(first)
+            manager.wait_all([first], timeout=120)
+            assert first.result == ("a", 1)
+            second = FunctionCall("libb", "lib_fn_b", 2)
+            manager.submit(second)
+            manager.wait_all([second], timeout=120)
+            assert second.result == ("b", 2)
+            assert manager.stats["libraries_evicted"] >= 1
+
+
+def test_eviction_disabled_starves_second_library():
+    with Manager(enable_library_eviction=False) as manager:
+        for name, fn in (("liba", lib_fn_a), ("libb", lib_fn_b)):
+            manager.install_library(manager.create_library_from_functions(name, fn))
+        with LocalWorkerFactory(manager, count=1, cores=1):
+            first = FunctionCall("liba", "lib_fn_a", 1)
+            manager.submit(first)
+            manager.wait_all([first], timeout=120)
+            second = FunctionCall("libb", "lib_fn_b", 2)
+            manager.submit(second)
+            assert manager.wait(timeout=3.0) is None  # starved: A holds the core
+            assert second.state is TaskState.SUBMITTED
+            assert manager.stats.get("libraries_evicted", 0) == 0
+
+
+# ------------------------------------------------------------ peer transfers
+def peered_setup():
+    global blob_len
+    with open("big.bin", "rb") as fh:
+        blob_len = len(fh.read())
+
+
+def peered_fn(pause):
+    import time as _time
+
+    _time.sleep(pause)
+    return blob_len  # noqa: F821
+
+
+def test_context_reaches_second_worker_via_peer_transfer():
+    """With a worker already holding the context files, a later worker
+    fetches them from its peer instead of the manager (Figure 3b)."""
+    from repro.discover.data import declare_data
+
+    payload = bytes(200_000)
+    with Manager() as manager:
+        binding = declare_data(payload, remote_name="big.bin")
+        library = manager.create_library_from_functions(
+            "peered", peered_fn, context=peered_setup, data=[binding]
+        )
+        manager.install_library(library)
+        first_factory = LocalWorkerFactory(manager, count=1, cores=1, name_prefix="first")
+        first_factory.start()
+        try:
+            warm = FunctionCall("peered", "peered_fn", 0)
+            manager.submit(warm)
+            manager.wait_all([warm], timeout=120)
+            assert warm.result == len(payload)
+            # Drain pending cache_update confirmations.
+            deadline = time.monotonic() + 10
+            link = manager._workers["first-0"]
+            while binding.content_hash not in link.cached and time.monotonic() < deadline:
+                manager.wait(timeout=0.1)
+            assert binding.content_hash in link.cached
+            # Second worker joins; two concurrent invocations force a second
+            # library instance onto it, whose files must come from the peer.
+            second_factory = LocalWorkerFactory(
+                manager, count=1, cores=1, name_prefix="second"
+            )
+            second_factory.start()
+            try:
+                calls = [FunctionCall("peered", "peered_fn", 2) for _ in range(2)]
+                for c in calls:
+                    manager.submit(c)
+                manager.wait_all(calls, timeout=120)
+                assert all(c.result == len(payload) for c in calls)
+                assert {c.worker for c in calls} == {"first-0", "second-0"}
+                assert manager.stats["peer_transfers"] >= 1
+            finally:
+                second_factory.stop()
+        finally:
+            first_factory.stop()
+
+
+# ------------------------------------------------------------- status reports
+def test_worker_status_reports_arrive():
+    with Manager() as manager, LocalWorkerFactory(manager, count=1, cores=2):
+        task = PythonTask(quick, 5)
+        f = manager.declare_buffer(b"x" * 1000, "blob.bin")
+        task.add_input(f)
+        manager.submit(task)
+        manager.wait_all([task], timeout=60)
+        deadline = time.monotonic() + 10
+        status = {}
+        while time.monotonic() < deadline:
+            manager.wait(timeout=0.3)
+            status = manager.worker_status().get("worker-0", {})
+            if status:
+                break
+        assert status, "no status report arrived"
+        assert status["cache"]["entries"] >= 1
+        assert "running_tasks" in status and "libraries" in status

@@ -1,0 +1,254 @@
+"""End-to-end tests of the real multi-process engine.
+
+These spawn genuine worker and library processes over localhost sockets.
+A module-scoped manager + 2-worker pool is shared by most tests to keep
+wall time bounded on a single-CPU machine; tests that need special
+topologies build their own.
+"""
+
+import time
+
+import pytest
+
+from repro.discover.data import declare_data
+from repro.engine import (
+    FunctionCall,
+    LocalWorkerFactory,
+    Manager,
+    PythonTask,
+    TaskState,
+)
+from repro.engine.task import ExecMode
+from repro.errors import EngineError, LibraryError, TaskFailure
+
+
+def ctx_setup(bias):
+    global offset
+    offset = bias
+
+
+def add_offset(a, b):
+    return a + b + offset  # noqa: F821 - context-resident global
+
+
+def plain_double(x):
+    return 2 * x
+
+
+def raises_error(x):
+    raise RuntimeError(f"deliberate failure {x}")
+
+
+def reads_dataset():
+    with open("shared.bin", "rb") as fh:
+        return len(fh.read())
+
+
+def dataset_setup():
+    global dataset_len
+    with open("shared.bin", "rb") as fh:
+        dataset_len = len(fh.read())
+
+
+def dataset_len_fn(extra):
+    return dataset_len + extra  # noqa: F821
+
+
+@pytest.fixture(scope="module")
+def engine():
+    manager = Manager()
+    library = manager.create_library_from_functions(
+        "itest", add_offset, context=ctx_setup, context_args=[100], function_slots=2
+    )
+    manager.install_library(library)
+    factory = LocalWorkerFactory(manager, count=2, cores=4)
+    factory.start()
+    yield manager
+    factory.stop()
+    manager.close()
+
+
+# --------------------------------------------------------------- invocations
+def test_function_call_roundtrip(engine):
+    call = FunctionCall("itest", "add_offset", 1, 2)
+    engine.submit(call)
+    engine.wait_all([call], timeout=120)
+    assert call.result == 103
+    assert call.state is TaskState.DONE
+    assert call.worker is not None
+
+
+def test_many_invocations_share_context(engine):
+    calls = [FunctionCall("itest", "add_offset", i, 0) for i in range(20)]
+    for c in calls:
+        engine.submit(c)
+    engine.wait_all(calls, timeout=180)
+    assert sorted(c.result for c in calls) == [100 + i for i in range(20)]
+
+
+def test_invocation_overheads_recorded(engine):
+    call = FunctionCall("itest", "add_offset", 5, 5)
+    engine.submit(call)
+    engine.wait_all([call], timeout=120)
+    overheads = call.overheads
+    assert "invoc_overhead" in overheads and "exec_time" in overheads
+    assert overheads["exec_time"] < 1.0  # trivial addition
+
+
+def test_fork_mode_invocation(engine):
+    call = FunctionCall("itest", "add_offset", 7, 3)
+    call.exec_mode = ExecMode.FORK
+    engine.submit(call)
+    engine.wait_all([call], timeout=120)
+    assert call.result == 110
+
+
+def test_invocation_failure_reports_remote_traceback(engine):
+    library = engine.create_library_from_functions("failing", raises_error)
+    engine.install_library(library)
+    call = FunctionCall("failing", "raises_error", 9)
+    engine.submit(call)
+    engine.wait_all([call], timeout=120)
+    with pytest.raises(TaskFailure, match="deliberate failure 9") as exc_info:
+        _ = call.result
+    assert "RuntimeError" in (exc_info.value.remote_traceback or "")
+
+
+def test_unknown_library_rejected_at_submit(engine):
+    with pytest.raises(LibraryError, match="no installed library"):
+        engine.submit(FunctionCall("ghost", "fn", 1))
+
+
+def test_unknown_function_rejected_at_submit(engine):
+    with pytest.raises(LibraryError, match="no function"):
+        engine.submit(FunctionCall("itest", "ghost_fn", 1))
+
+
+def test_double_submit_rejected(engine):
+    call = FunctionCall("itest", "add_offset", 1, 1)
+    engine.submit(call)
+    with pytest.raises(EngineError, match="already"):
+        engine.submit(call)
+    engine.wait_all([call], timeout=120)
+
+
+def test_duplicate_library_install_rejected(engine):
+    library = engine.create_library_from_functions("itest2", plain_double)
+    engine.install_library(library)
+    with pytest.raises(LibraryError, match="already installed"):
+        engine.install_library(library)
+
+
+# --------------------------------------------------------------------- tasks
+def test_python_task_roundtrip(engine):
+    task = PythonTask(plain_double, 21)
+    engine.submit(task)
+    engine.wait_all([task], timeout=120)
+    assert task.result == 42
+
+
+def test_python_task_failure(engine):
+    task = PythonTask(raises_error, 3)
+    engine.submit(task)
+    engine.wait_all([task], timeout=120)
+    with pytest.raises(TaskFailure, match="deliberate failure 3"):
+        _ = task.result
+
+
+def test_python_task_with_input_file(engine):
+    data = b"shared bytes" * 100
+    f = engine.declare_buffer(data, "shared.bin")
+    task = PythonTask(reads_dataset)
+    task.add_input(f)
+    engine.submit(task)
+    engine.wait_all([task], timeout=120)
+    assert task.result == len(data)
+
+
+def test_result_before_completion_rejected(engine):
+    task = PythonTask(plain_double, 1)
+    with pytest.raises(EngineError, match="no result"):
+        _ = task.result
+
+
+def test_wait_returns_none_on_timeout(engine):
+    assert engine.wait(timeout=0.05) is None
+
+
+# --------------------------------------------------------- data-bound library
+def test_library_with_shared_data(engine):
+    payload = bytes(500)
+    binding = declare_data(payload, remote_name="shared.bin")
+    library = engine.create_library_from_functions(
+        "databound", dataset_len_fn, context=dataset_setup, data=[binding]
+    )
+    engine.install_library(library)
+    calls = [FunctionCall("databound", "dataset_len_fn", i) for i in range(4)]
+    for c in calls:
+        engine.submit(c)
+    engine.wait_all(calls, timeout=180)
+    assert sorted(c.result for c in calls) == [500, 501, 502, 503]
+
+
+def count_input_bytes(name):
+    with open(name, "rb") as fh:
+        return len(fh.read())
+
+
+def test_invocation_with_per_call_input_file(engine):
+    """A FunctionCall may carry its own input files; the manager stages
+    them into the invocation sandbox (data-to-invocation binding)."""
+    library = engine.create_library_from_functions("percall", count_input_bytes)
+    engine.install_library(library)
+    f = engine.declare_buffer(b"z" * 321, "percall.bin")
+    call = FunctionCall("percall", "count_input_bytes", "percall.bin")
+    call.add_input(f)
+    engine.submit(call)
+    engine.wait_all([call], timeout=120)
+    assert call.result == 321
+
+
+def failing_setup():
+    raise RuntimeError("setup exploded")
+
+
+def setup_dependent(x):
+    return x
+
+
+def test_library_setup_failure_fails_invocations(engine):
+    library = engine.create_library_from_functions(
+        "brokenlib", setup_dependent, context=failing_setup
+    )
+    engine.install_library(library)
+    call = FunctionCall("brokenlib", "setup_dependent", 1)
+    engine.submit(call)
+    engine.wait_all([call], timeout=120)
+    with pytest.raises(TaskFailure, match="setup exploded"):
+        _ = call.result
+
+
+def test_lambda_functions_work_via_cloudpickle(engine):
+    fn = lambda x: x**2  # noqa: E731
+    library = engine.create_library_from_functions("lambdas", fn)
+    engine.install_library(library)
+    name = library.context.function_names()[0]
+    call = FunctionCall("lambdas", name, 9)
+    engine.submit(call)
+    engine.wait_all([call], timeout=120)
+    assert call.result == 81
+
+
+def test_stats_track_activity(engine):
+    assert engine.stats["completed"] >= 1
+    assert engine.stats["libraries_deployed"] >= 1
+
+
+def test_connected_workers(engine):
+    assert engine.connected_workers() == ["worker-0", "worker-1"]
+
+
+def test_wait_for_workers_timeout():
+    with Manager() as manager:
+        with pytest.raises(Exception, match="workers"):
+            manager.wait_for_workers(1, timeout=0.2)

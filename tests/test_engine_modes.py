@@ -1,0 +1,96 @@
+"""Engine behaviour under non-default configurations: manager-only
+transfers, bounded worker caches, multi-function libraries."""
+
+import pytest
+
+from repro.distribute.topology import TransferMode
+from repro.engine import FunctionCall, LocalWorkerFactory, Manager, PythonTask
+
+
+def fn_one(x):
+    return x + 1
+
+
+def fn_two(x):
+    return x * 2
+
+
+def read_blob(name):
+    with open(name, "rb") as fh:
+        return len(fh.read())
+
+
+def test_manager_only_transfer_mode():
+    """With MANAGER_ONLY the manager never issues peer-transfer directives,
+    even when another worker already holds the file."""
+    with Manager(transfer_mode=TransferMode.MANAGER_ONLY) as manager:
+        blob = manager.declare_buffer(b"d" * 50_000, "blob.bin")
+        with LocalWorkerFactory(manager, count=2, cores=1):
+            tasks = []
+            for _ in range(4):
+                t = PythonTask(read_blob, "blob.bin")
+                t.add_input(blob)
+                tasks.append(t)
+                manager.submit(t)
+            manager.wait_all(tasks, timeout=120)
+            assert all(t.result == 50_000 for t in tasks)
+            assert manager.stats.get("peer_transfers", 0) == 0
+            assert manager.stats["manager_sends"] >= 2  # one copy per worker
+
+
+def test_multi_function_library():
+    """Figure 5 allows several functions per library; they share one
+    context process and its namespace."""
+    with Manager() as manager:
+        library = manager.create_library_from_functions(
+            "multi", fn_one, fn_two, function_slots=2
+        )
+        manager.install_library(library)
+        assert library.provides("fn_one") and library.provides("fn_two")
+        with LocalWorkerFactory(manager, count=1, cores=1):
+            a = FunctionCall("multi", "fn_one", 10)
+            b = FunctionCall("multi", "fn_two", 10)
+            manager.submit(a)
+            manager.submit(b)
+            manager.wait_all([a, b], timeout=120)
+            assert (a.result, b.result) == (11, 20)
+            # Both served without deploying a second library.
+            assert manager.stats["libraries_deployed"] == 1
+
+
+def test_bounded_worker_cache_evicts():
+    """A worker with a tiny cache evicts older blobs under pressure but
+    every task still completes (manager re-sends on the next use)."""
+    with Manager() as manager:
+        blobs = [
+            manager.declare_buffer(bytes([i]) * 30_000, f"blob{i}.bin")
+            for i in range(6)
+        ]
+        factory = LocalWorkerFactory(
+            manager, count=1, cores=1, cache_capacity=100_000
+        )
+        with factory:
+            tasks = []
+            for i, blob in enumerate(blobs):
+                t = PythonTask(read_blob, f"blob{i}.bin")
+                t.add_input(blob)
+                tasks.append(t)
+                manager.submit(t)
+            manager.wait_all(tasks, timeout=240)
+            assert all(t.result == 30_000 for t in tasks)
+            # Reusing an early (by now evicted) blob still works: the
+            # eviction report cleared the manager's replica map, so the
+            # file is re-sent instead of assumed present.
+            retry = PythonTask(read_blob, "blob0.bin")
+            retry.add_input(blobs[0])
+            manager.submit(retry)
+            manager.wait_all([retry], timeout=120)
+            assert retry.result == 30_000
+
+
+def test_fresh_manager_stats_empty():
+    with Manager() as manager:
+        assert manager.stats.get("completed", 0) == 0
+        assert manager.connected_workers() == []
+        assert manager.worker_status() == {}
+        assert manager.empty()

@@ -1,0 +1,89 @@
+"""Unit + property tests for resource vectors and pools."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.engine.resources import ResourcePool, Resources
+from repro.errors import ResourceError
+
+res = st.builds(
+    Resources,
+    cores=st.integers(min_value=0, max_value=64),
+    memory=st.integers(min_value=0, max_value=10**5),
+    disk=st.integers(min_value=0, max_value=10**5),
+)
+
+
+def test_negative_resources_rejected():
+    with pytest.raises(ResourceError):
+        Resources(cores=-1)
+    with pytest.raises(ResourceError):
+        Resources(memory=-5)
+
+
+def test_fits_within():
+    small = Resources(1, 100, 100)
+    big = Resources(4, 400, 400)
+    assert small.fits_within(big)
+    assert not big.fits_within(small)
+    assert small.fits_within(small)
+
+
+def test_add_sub_roundtrip():
+    a = Resources(2, 10, 20)
+    b = Resources(1, 5, 5)
+    assert (a + b) - b == a
+
+
+def test_scaled():
+    assert Resources(1, 2, 3).scaled(3) == Resources(3, 6, 9)
+    with pytest.raises(ResourceError):
+        Resources(1, 1, 1).scaled(-1)
+
+
+def test_dict_roundtrip():
+    r = Resources(3, 64, 128)
+    assert Resources.from_dict(r.to_dict()) == r
+
+
+def test_from_dict_defaults():
+    assert Resources.from_dict({}) == Resources(cores=1, memory=0, disk=0)
+
+
+def test_pool_allocate_release():
+    pool = ResourcePool(Resources(4, 100, 100))
+    req = Resources(2, 50, 50)
+    pool.allocate(req)
+    assert pool.available == Resources(2, 50, 50)
+    pool.release(req)
+    assert pool.available == pool.total
+
+
+def test_pool_overallocation_rejected():
+    pool = ResourcePool(Resources(2, 10, 10))
+    pool.allocate(Resources(2, 10, 10))
+    with pytest.raises(ResourceError):
+        pool.allocate(Resources(1, 0, 0))
+
+
+def test_pool_overrelease_rejected():
+    pool = ResourcePool(Resources(2, 10, 10))
+    with pytest.raises(ResourceError):
+        pool.release(Resources(1, 0, 0))
+
+
+@given(total=res, requests=st.lists(res, max_size=10))
+def test_pool_never_goes_negative_property(total, requests):
+    """Allocate whatever fits, then release it all: pool returns to total
+    and never exposes negative availability along the way."""
+    pool = ResourcePool(total)
+    granted = []
+    for request in requests:
+        if pool.can_allocate(request):
+            pool.allocate(request)
+            granted.append(request)
+        avail = pool.available
+        assert avail.cores >= 0 and avail.memory >= 0 and avail.disk >= 0
+    for request in granted:
+        pool.release(request)
+    assert pool.available == total

@@ -1,0 +1,234 @@
+"""Unit + property tests for the hash ring and placement policy."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.engine.resources import Resources
+from repro.engine.scheduling import HashRing, Placement
+from repro.errors import SchedulingError
+
+names = st.lists(
+    st.text(alphabet="abcdefgh0123", min_size=1, max_size=8), unique=True, max_size=20
+)
+
+
+# ------------------------------------------------------------------- hash ring
+def test_ring_walk_visits_all_once():
+    ring = HashRing()
+    for name in ["w1", "w2", "w3", "w4"]:
+        ring.add(name)
+    walked = list(ring.walk("some-key"))
+    assert sorted(walked) == ["w1", "w2", "w3", "w4"]
+
+
+def test_ring_walk_empty():
+    assert list(HashRing().walk("k")) == []
+
+
+def test_ring_duplicate_add_rejected():
+    ring = HashRing()
+    ring.add("w")
+    with pytest.raises(SchedulingError):
+        ring.add("w")
+
+
+def test_ring_remove():
+    ring = HashRing()
+    ring.add("a")
+    ring.add("b")
+    ring.remove("a")
+    assert list(ring.walk("k")) == ["b"]
+    with pytest.raises(SchedulingError):
+        ring.remove("a")
+
+
+def test_ring_walk_start_depends_on_key():
+    ring = HashRing()
+    for i in range(16):
+        ring.add(f"w{i}")
+    starts = {next(iter(ring.walk(f"key-{k}"))) for k in range(40)}
+    assert len(starts) > 1  # different keys start at different workers
+
+
+@settings(deadline=None)
+@given(names=names, key=st.text(max_size=10))
+def test_ring_walk_is_permutation_property(names, key):
+    ring = HashRing()
+    for n in names:
+        ring.add(n)
+    assert sorted(ring.walk(key)) == sorted(names)
+
+
+# ------------------------------------------------------------------- placement
+def make_placement(n=3, cores=4):
+    p = Placement()
+    for i in range(n):
+        p.add_worker(f"w{i}", Resources(cores=cores, memory=100, disk=100))
+    return p
+
+
+def test_place_library_commits_resources():
+    p = make_placement(1, cores=4)
+    placed = p.place_library("lib", slots=2, resources=Resources(2, 10, 10))
+    assert placed is not None
+    worker, iid = placed
+    assert p.workers[worker].pool.available.cores == 2
+
+
+def test_place_library_none_when_full():
+    p = make_placement(1, cores=1)
+    assert p.place_library("lib", 1, Resources(1, 0, 0)) is not None
+    assert p.place_library("lib", 1, Resources(1, 0, 0)) is None
+
+
+def test_invocation_slot_lifecycle():
+    p = make_placement(1)
+    worker, iid = p.place_library("lib", 1, Resources(1, 0, 0))
+    assert p.find_invocation_slot("lib") is None  # not ready yet
+    p.library_ready(worker, iid)
+    inst = p.find_invocation_slot("lib")
+    assert inst is not None
+    p.start_invocation(inst)
+    assert p.find_invocation_slot("lib") is None  # slot busy
+    p.finish_invocation(inst)
+    assert inst.total_served == 1
+    assert p.find_invocation_slot("lib") is not None
+
+
+def test_start_invocation_without_slot_rejected():
+    p = make_placement(1)
+    worker, iid = p.place_library("lib", 1, Resources(1, 0, 0))
+    p.library_ready(worker, iid)
+    inst = p.find_invocation_slot("lib")
+    p.start_invocation(inst)
+    with pytest.raises(SchedulingError):
+        p.start_invocation(inst)
+
+
+def test_finish_invocation_without_start_rejected():
+    p = make_placement(1)
+    worker, iid = p.place_library("lib", 1, Resources(1, 0, 0))
+    p.library_ready(worker, iid)
+    inst = p.workers[worker].libraries[iid]
+    with pytest.raises(SchedulingError):
+        p.finish_invocation(inst)
+
+
+def test_evictable_library_excludes_wanted_and_busy():
+    p = make_placement(1, cores=2)
+    worker, a = p.place_library("libA", 1, Resources(1, 0, 0))
+    p.library_ready(worker, a)
+    _, b = p.place_library("libB", 1, Resources(1, 0, 0))
+    p.library_ready(worker, b)
+    # Looking on behalf of libA: only libB's idle instance qualifies.
+    victim = p.find_evictable_library("libA")
+    assert victim is not None and victim.library_name == "libB"
+    # A busy library is never evictable.
+    p.start_invocation(p.workers[worker].libraries[b])
+    victim = p.find_evictable_library("libA")
+    assert victim is None or victim.library_name != "libB"
+
+
+def test_evictable_any_library_for_tasks():
+    p = make_placement(1, cores=1)
+    worker, a = p.place_library("libA", 1, Resources(1, 0, 0))
+    p.library_ready(worker, a)
+    victim = p.find_evictable_library(None)
+    assert victim is not None
+
+
+def test_remove_library_releases_resources():
+    p = make_placement(1, cores=2)
+    worker, iid = p.place_library("lib", 1, Resources(2, 0, 0))
+    p.library_ready(worker, iid)
+    p.remove_library(worker, iid)
+    assert p.workers[worker].pool.available.cores == 2
+    with pytest.raises(SchedulingError):
+        p.remove_library(worker, iid)
+
+
+def test_remove_busy_library_rejected():
+    p = make_placement(1)
+    worker, iid = p.place_library("lib", 1, Resources(1, 0, 0))
+    p.library_ready(worker, iid)
+    inst = p.find_invocation_slot("lib")
+    p.start_invocation(inst)
+    with pytest.raises(SchedulingError):
+        p.remove_library(worker, iid)
+
+
+def test_task_placement_and_finish():
+    p = make_placement(2, cores=2)
+    worker = p.place_task("task-1", Resources(2, 0, 0))
+    assert worker is not None
+    assert p.workers[worker].running_tasks == 1
+    p.finish_task(worker, Resources(2, 0, 0))
+    assert p.workers[worker].running_tasks == 0
+
+
+def test_task_placement_spills_to_next_worker():
+    p = make_placement(2, cores=1)
+    w1 = p.place_task("k", Resources(1, 0, 0))
+    w2 = p.place_task("k", Resources(1, 0, 0))
+    assert {w1, w2} == {"w0", "w1"}
+    assert p.place_task("k", Resources(1, 0, 0)) is None
+
+
+def test_remove_worker():
+    p = make_placement(2)
+    slot = p.remove_worker("w0")
+    assert slot.name == "w0"
+    assert "w0" not in p.workers
+    with pytest.raises(SchedulingError):
+        p.remove_worker("w0")
+
+
+def test_metrics():
+    p = make_placement(2, cores=2)
+    assert p.deployed_library_count() == 0
+    assert p.mean_share_value() == 0.0
+    worker, iid = p.place_library("lib", 1, Resources(1, 0, 0))
+    p.library_ready(worker, iid)
+    inst = p.find_invocation_slot("lib")
+    p.start_invocation(inst)
+    p.finish_invocation(inst)
+    assert p.deployed_library_count() == 1
+    assert p.mean_share_value() == 1.0
+
+
+@settings(deadline=None, max_examples=30)
+@given(
+    n_workers=st.integers(min_value=1, max_value=6),
+    slots=st.integers(min_value=1, max_value=4),
+    n_invocations=st.integers(min_value=0, max_value=30),
+)
+def test_slot_accounting_invariant_property(n_workers, slots, n_invocations):
+    """Start/finish cycles never exceed deployed slot capacity and always
+    return the system to idle."""
+    p = Placement()
+    for i in range(n_workers):
+        p.add_worker(f"w{i}", Resources(cores=4, memory=0, disk=0))
+    deployed = []
+    while True:
+        placed = p.place_library("lib", slots, Resources(1, 0, 0))
+        if placed is None:
+            break
+        p.library_ready(*placed)
+        deployed.append(placed)
+    in_flight = []
+    started = 0
+    for _ in range(n_invocations):
+        inst = p.find_invocation_slot("lib")
+        if inst is None:
+            break
+        p.start_invocation(inst)
+        in_flight.append(inst)
+        started += 1
+    assert started <= len(deployed) * slots
+    for inst in in_flight:
+        p.finish_invocation(inst)
+    assert all(
+        li.used_slots == 0
+        for w in p.workers.values()
+        for li in w.libraries.values()
+    )

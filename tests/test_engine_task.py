@@ -1,0 +1,127 @@
+"""Unit tests for task/invocation objects (no processes involved)."""
+
+import pytest
+
+from repro.discover.context import discover_context
+from repro.engine.resources import Resources
+from repro.engine.task import (
+    ExecMode,
+    FunctionCall,
+    LibraryTask,
+    PythonTask,
+    Task,
+    TaskState,
+    failure_from_message,
+)
+from repro.errors import EngineError, TaskFailure
+
+
+def sample_fn(x):
+    return x
+
+
+def test_task_ids_are_unique_and_increasing():
+    a, b = PythonTask(sample_fn, 1), PythonTask(sample_fn, 2)
+    assert b.id > a.id
+
+
+def test_python_task_requires_callable():
+    with pytest.raises(EngineError):
+        PythonTask(42)  # type: ignore[arg-type]
+
+
+def test_python_task_captures_signature():
+    t = PythonTask(sample_fn, 1, key="v")
+    assert t.args == (1,)
+    assert t.kwargs == {"key": "v"}
+    assert t.function_name == "sample_fn"
+
+
+def test_task_result_lifecycle():
+    t = PythonTask(sample_fn, 1)
+    assert t.state is TaskState.CREATED
+    with pytest.raises(EngineError):
+        _ = t.result
+    t.set_result(99)
+    assert t.state is TaskState.DONE
+    assert t.result == 99
+    assert t.successful
+
+
+def test_task_exception_lifecycle():
+    t = PythonTask(sample_fn, 1)
+    t.set_exception(TaskFailure("nope"))
+    assert t.state is TaskState.FAILED
+    assert not t.successful
+    with pytest.raises(TaskFailure):
+        _ = t.result
+    assert isinstance(t.exception, TaskFailure)
+
+
+def test_add_input_only_before_submission():
+    from repro.engine.files import VineFile
+
+    t = PythonTask(sample_fn, 1)
+    f = VineFile("a" * 64, 1, "x")
+    t.add_input(f)
+    t.state = TaskState.SUBMITTED
+    with pytest.raises(EngineError):
+        t.add_input(f)
+
+
+def test_timeline_spans():
+    t = PythonTask(sample_fn, 1)
+    t.mark("submitted", 10.0)
+    t.mark("completed", 12.5)
+    assert t.span("submitted", "completed") == pytest.approx(2.5)
+    with pytest.raises(EngineError):
+        t.span("submitted", "missing")
+
+
+def test_function_call_validation():
+    with pytest.raises(EngineError):
+        FunctionCall("", "fn", 1)
+    with pytest.raises(EngineError):
+        FunctionCall("lib", "", 1)
+    call = FunctionCall("lib", "fn", 1, k=2)
+    assert call.exec_mode is None
+    assert call.args == (1,) and call.kwargs == {"k": 2}
+
+
+def test_library_task_construction():
+    ctx = discover_context("lib", [sample_fn], scan_dependencies=False)
+    lib = LibraryTask(ctx, function_slots=4, resources=Resources(2, 64, 64))
+    assert lib.name == "lib"
+    assert lib.provides("sample_fn")
+    assert not lib.provides("ghost")
+    assert lib.exec_mode is ExecMode.DIRECT
+
+
+def test_library_task_rejects_zero_slots():
+    ctx = discover_context("lib", [sample_fn], scan_dependencies=False)
+    with pytest.raises(EngineError):
+        LibraryTask(ctx, function_slots=0)
+
+
+def test_set_environment():
+    from repro.engine.files import VineFile
+
+    t = PythonTask(sample_fn, 1)
+    assert t.environment is None
+    env = VineFile("b" * 64, 100, "env.tar.gz")
+    t.set_environment(env)
+    assert t.environment is env
+
+
+def test_failure_from_message():
+    failure = failure_from_message({"error": "it broke", "traceback": "tb..."})
+    assert isinstance(failure, TaskFailure)
+    assert failure.remote_traceback == "tb..."
+    default = failure_from_message({})
+    assert "remote execution failed" in str(default)
+
+
+def test_base_task_is_usable_standalone():
+    t = Task()
+    t.set_result("ok")
+    assert t.result == "ok"

@@ -1,0 +1,153 @@
+"""Unit tests for the mini-Parsl layer (futures, dataflow, local executor)."""
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import DataflowError
+from repro.flow import AppFuture, DataFlowKernel, LocalExecutor, python_app
+from repro.flow.futures import iter_futures, resolve_value
+
+
+def double(x):
+    return 2 * x
+
+
+def add(a, b):
+    return a + b
+
+
+def fail(x):
+    raise ValueError(f"boom {x}")
+
+
+@pytest.fixture
+def dfk():
+    with LocalExecutor(max_workers=2) as ex:
+        yield DataFlowKernel(ex)
+
+
+# ------------------------------------------------------------------- futures
+def test_resolve_value_passthrough():
+    assert resolve_value(42) == 42
+    assert resolve_value([1, (2, 3)]) == [1, (2, 3)]
+
+
+def test_resolve_value_unwraps_futures():
+    f = AppFuture()
+    f.set_result(7)
+    assert resolve_value(f) == 7
+    assert resolve_value([f, {"k": f}]) == [7, {"k": 7}]
+
+
+def test_iter_futures_finds_nested():
+    f, g = AppFuture(), AppFuture()
+    found = list(iter_futures([1, f, {"a": (g, 2)}]))
+    assert found == [f, g]
+
+
+# ------------------------------------------------------------------- dataflow
+def test_simple_submit(dfk):
+    fut = dfk.submit(double, 21)
+    assert fut.result(timeout=10) == 42
+    assert fut.app_name == "double"
+
+
+def test_chained_futures(dfk):
+    a = dfk.submit(double, 5)
+    b = dfk.submit(double, a)
+    c = dfk.submit(add, a, b)
+    assert c.result(timeout=10) == 30
+
+
+def test_future_in_kwargs(dfk):
+    a = dfk.submit(double, 3)
+    b = dfk.submit(add, 1, b=a)
+    assert b.result(timeout=10) == 7
+
+
+def test_future_nested_in_list(dfk):
+    parts = [dfk.submit(double, i) for i in range(4)]
+    total = dfk.submit(lambda xs: sum(xs), parts)
+    assert total.result(timeout=10) == 12
+
+
+def test_failure_surfaces_on_future(dfk):
+    fut = dfk.submit(fail, 1)
+    with pytest.raises(ValueError, match="boom 1"):
+        fut.result(timeout=10)
+
+
+def test_failed_dependency_propagates(dfk):
+    bad = dfk.submit(fail, 2)
+    dependent = dfk.submit(double, bad)
+    with pytest.raises(DataflowError, match="dependency"):
+        dependent.result(timeout=10)
+
+
+def test_diamond_dependency(dfk):
+    root = dfk.submit(double, 1)
+    left = dfk.submit(add, root, 10)
+    right = dfk.submit(add, root, 20)
+    merged = dfk.submit(add, left, right)
+    assert merged.result(timeout=10) == 34  # (2+10) + (2+20)
+
+
+def test_wait_all(dfk):
+    futures = [dfk.submit(double, i) for i in range(10)]
+    dfk.wait_all(timeout=10)
+    assert all(f.done() for f in futures)
+
+
+def test_wait_all_timeout():
+    gate = threading.Event()
+    with LocalExecutor(max_workers=1) as ex:
+        dfk = DataFlowKernel(ex)
+        dfk.submit(lambda: gate.wait(5))
+        with pytest.raises(DataflowError, match="timed out"):
+            dfk.wait_all(timeout=0.1)
+        gate.set()
+        dfk.wait_all(timeout=10)
+
+
+def test_many_parallel_apps(dfk):
+    futures = [dfk.submit(add, i, i) for i in range(200)]
+    assert [f.result(timeout=30) for f in futures] == [2 * i for i in range(200)]
+
+
+def test_dependency_already_done(dfk):
+    a = dfk.submit(double, 2)
+    a.result(timeout=10)  # make sure it's resolved first
+    b = dfk.submit(double, a)
+    assert b.result(timeout=10) == 8
+
+
+# ------------------------------------------------------------------- decorator
+def test_python_app_decorator(dfk):
+    app = python_app(dfk)(double)
+    assert app(4).result(timeout=10) == 8
+
+
+def test_python_app_unbound_raises():
+    app = python_app()(double)
+    with pytest.raises(DataflowError, match="not bound"):
+        app(1)
+
+
+def test_python_app_late_binding(dfk):
+    app = python_app()(double)
+    app.bind(dfk)
+    assert app(10).result(timeout=10) == 20
+
+
+def test_python_app_preserves_metadata(dfk):
+    app = python_app(dfk)(double)
+    assert app.__name__ == "double"
+    assert app.__wrapped__ is double
+
+
+def test_apps_compose_through_futures(dfk):
+    d = python_app(dfk)(double)
+    a = python_app(dfk)(add)
+    assert a(d(1), d(2)).result(timeout=10) == 6

@@ -1,0 +1,117 @@
+"""Unit tests for the Dask-like delayed interface."""
+
+import pytest
+
+from repro.errors import DataflowError
+from repro.flow import DataFlowKernel, Delayed, LocalExecutor, compute, delayed
+
+
+def inc(x):
+    return x + 1
+
+
+def add(a, b):
+    return a + b
+
+
+@pytest.fixture
+def dfk():
+    with LocalExecutor(max_workers=2) as ex:
+        yield DataFlowKernel(ex)
+
+
+def test_delayed_builds_lazily():
+    node = delayed(inc)(1)
+    assert isinstance(node, Delayed)
+    assert node.fn is inc
+
+
+def test_compute_single(dfk):
+    assert compute(delayed(inc)(41), dfk=dfk) == 42
+
+
+def test_compute_chain(dfk):
+    dinc = delayed(inc)
+    node = dinc(dinc(dinc(0)))
+    assert compute(node, dfk=dfk) == 3
+
+
+def test_compute_tree(dfk):
+    dadd = delayed(add)
+    dinc = delayed(inc)
+    node = dadd(dinc(1), dadd(dinc(2), 10))
+    assert compute(node, dfk=dfk) == 2 + 3 + 10
+
+
+def test_delayed_in_list_argument(dfk):
+    parts = [delayed(inc)(i) for i in range(5)]
+    total = delayed(sum)(parts)
+    assert compute(total, dfk=dfk) == sum(i + 1 for i in range(5))
+
+
+def test_shared_subexpression_submitted_once(dfk):
+    calls = []
+
+    def traced(x):
+        calls.append(x)
+        return x * 2
+
+    shared = delayed(traced)(3)
+    top = delayed(add)(shared, shared)
+    assert compute(top, dfk=dfk) == 12
+    assert calls == [3]  # CSE: one execution for the shared node
+
+
+def test_compute_multiple_values(dfk):
+    a = delayed(inc)(1)
+    b = delayed(inc)(10)
+    got = compute(a, 99, b, dfk=dfk)
+    assert got == (2, 99, 11)
+
+
+def test_node_compute_method(dfk):
+    assert delayed(inc)(5).compute(dfk) == 6
+
+
+def test_kwargs_flow_through(dfk):
+    def scaled(x, *, factor=1):
+        return x * factor
+
+    node = delayed(scaled)(delayed(inc)(2), factor=10)
+    assert compute(node, dfk=dfk) == 30
+
+
+def test_bool_and_iter_are_loud():
+    node = delayed(inc)(1)
+    with pytest.raises(DataflowError, match="lazy"):
+        bool(node)
+    with pytest.raises(DataflowError, match="lazy"):
+        list(node)
+
+
+def test_delayed_requires_callable():
+    with pytest.raises(DataflowError):
+        delayed(42)  # type: ignore[arg-type]
+
+
+def test_compute_requires_values(dfk):
+    with pytest.raises(DataflowError):
+        compute(dfk=dfk)
+
+
+def test_deep_chain_no_recursion_limit(dfk):
+    dinc = delayed(inc)
+    node = dinc(0)
+    for _ in range(300):
+        node = dinc(node)
+    assert compute(node, dfk=dfk, timeout=120) == 301
+
+
+def test_delayed_on_vine_executor():
+    from repro.flow import VineExecutor
+
+    with VineExecutor(workers=1, cores_per_worker=2, function_slots=2) as ex:
+        dfk = DataFlowKernel(ex)
+        dadd = delayed(add)
+        node = dadd(dadd(1, 2), dadd(3, 4))
+        assert compute(node, dfk=dfk, timeout=120) == 10

@@ -1,0 +1,96 @@
+"""Unit + property tests for framed value serialization."""
+
+import os
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import SerializationError
+from repro.serialize.core import (
+    deserialize,
+    deserialize_from_file,
+    serialize,
+    serialize_to_file,
+)
+
+json_like = st.recursive(
+    st.none()
+    | st.booleans()
+    | st.integers(min_value=-(2**40), max_value=2**40)
+    | st.floats(allow_nan=False, allow_infinity=False)
+    | st.text(max_size=30)
+    | st.binary(max_size=30),
+    lambda children: st.lists(children, max_size=4)
+    | st.dictionaries(st.text(max_size=8), children, max_size=4),
+    max_leaves=20,
+)
+
+
+def test_roundtrip_basic_types():
+    for obj in [None, 42, 3.14, "text", b"bytes", [1, 2], {"k": (1, 2)}]:
+        assert deserialize(serialize(obj)) == obj
+
+
+def test_roundtrip_function():
+    fn = deserialize(serialize(lambda x: x + 1))
+    assert fn(41) == 42
+
+
+def test_truncated_payload_rejected():
+    data = serialize([1, 2, 3])
+    with pytest.raises(SerializationError, match="truncated|length"):
+        deserialize(data[: len(data) - 4])
+
+
+def test_bad_magic_rejected():
+    data = b"XXXX" + serialize(1)[4:]
+    with pytest.raises(SerializationError, match="magic"):
+        deserialize(data)
+
+
+def test_bad_version_rejected():
+    data = bytearray(serialize(1))
+    data[4] = 99
+    with pytest.raises(SerializationError, match="version"):
+        deserialize(bytes(data))
+
+
+def test_corrupted_payload_detected_by_digest():
+    data = bytearray(serialize("a string long enough to corrupt safely"))
+    data[-1] ^= 0xFF
+    with pytest.raises(SerializationError, match="digest|deserialize"):
+        deserialize(bytes(data))
+
+
+def test_unserializable_object_raises():
+    with pytest.raises(SerializationError):
+        serialize((i for i in range(3)))  # generators never pickle
+
+
+def test_serialize_to_file_roundtrip(tmp_path):
+    path = tmp_path / "obj.bin"
+    digest = serialize_to_file({"a": 1}, path)
+    assert len(digest) == 64
+    assert deserialize_from_file(path) == {"a": 1}
+
+
+def test_serialize_to_file_is_atomic(tmp_path):
+    path = tmp_path / "obj.bin"
+    serialize_to_file("first", path)
+    serialize_to_file("second", path)
+    assert deserialize_from_file(path) == "second"
+    leftovers = [p for p in os.listdir(tmp_path) if "tmp" in p]
+    assert not leftovers
+
+
+@given(json_like)
+def test_roundtrip_property(obj):
+    assert deserialize(serialize(obj)) == obj
+
+
+@given(st.binary(min_size=1, max_size=64))
+def test_garbage_never_deserializes_silently(noise):
+    try:
+        deserialize(noise)
+    except SerializationError:
+        pass  # the only acceptable failure mode

@@ -1,0 +1,62 @@
+"""Unit tests for the serializer registry."""
+
+import pytest
+
+from repro.errors import SerializationError
+from repro.serialize.registry import (
+    Serializer,
+    SerializerRegistry,
+    get_default_registry,
+)
+
+
+def test_default_registry_has_pickle_and_json():
+    reg = get_default_registry()
+    assert set(reg.names()) >= {"pickle", "json"}
+
+
+def test_default_registry_is_singleton():
+    assert get_default_registry() is get_default_registry()
+
+
+def test_json_roundtrip():
+    reg = get_default_registry()
+    obj = {"a": [1, 2, 3], "b": "text"}
+    assert reg.decode("json", reg.encode("json", obj)) == obj
+
+
+def test_json_rejects_unencodable():
+    reg = get_default_registry()
+    with pytest.raises(SerializationError):
+        reg.encode("json", object())
+
+
+def test_json_rejects_bad_bytes():
+    reg = get_default_registry()
+    with pytest.raises(SerializationError):
+        reg.decode("json", b"\xff\xfe not json")
+
+
+def test_pickle_roundtrip_via_registry():
+    reg = get_default_registry()
+    assert reg.decode("pickle", reg.encode("pickle", (1, "two"))) == (1, "two")
+
+
+def test_register_custom_serializer():
+    reg = SerializerRegistry()
+    reg.register(Serializer("upper", lambda s: s.upper().encode(), lambda b: b.decode()))
+    assert reg.encode("upper", "abc") == b"ABC"
+
+
+def test_register_duplicate_rejected():
+    reg = SerializerRegistry()
+    s = Serializer("x", lambda o: b"", lambda b: None)
+    reg.register(s)
+    with pytest.raises(SerializationError):
+        reg.register(s)
+    reg.register(s, overwrite=True)  # explicit overwrite allowed
+
+
+def test_unknown_serializer_rejected():
+    with pytest.raises(SerializationError):
+        SerializerRegistry().get("ghost")

@@ -1,0 +1,140 @@
+"""Unit tests for function-code capture (source route + binary fallback)."""
+
+import functools
+
+import pytest
+
+from repro.errors import DiscoveryError
+from repro.serialize.source import (
+    FunctionCode,
+    capture_function,
+    extract_source,
+    is_serializable_by_source,
+)
+
+
+def plain_function(x, y=2):
+    return x * y
+
+
+def _decorator(fn):
+    @functools.wraps(fn)
+    def inner(*a, **k):
+        return fn(*a, **k)
+
+    return inner
+
+
+@_decorator
+def decorated_function(x):
+    return x + 1
+
+
+class Holder:
+    def method(self, x):
+        return x
+
+
+def make_closure(n):
+    def adder(x):
+        return x + n
+
+    return adder
+
+
+def test_extract_source_plain():
+    src = extract_source(plain_function)
+    assert src.startswith("def plain_function")
+    assert "return x * y" in src
+
+
+def test_extract_source_strips_decorators():
+    # decorated_function's wrapper hides the original; extract from the raw fn.
+    src = extract_source(decorated_function.__wrapped__)
+    assert "@" not in src.splitlines()[0]
+    assert src.startswith("def decorated_function")
+
+
+def test_extract_source_dedents_methods():
+    src = extract_source(Holder.method)
+    assert src.startswith("def method")
+
+
+def test_source_route_detection():
+    assert is_serializable_by_source(plain_function)
+    assert not is_serializable_by_source(lambda x: x)
+    assert not is_serializable_by_source(make_closure(3))  # free variables
+    assert not is_serializable_by_source(len)  # builtin
+
+
+def test_capture_plain_function_uses_source():
+    code = capture_function(plain_function)
+    assert code.kind == "source"
+    assert code.name == "plain_function"
+
+
+def test_capture_lambda_uses_binary():
+    code = capture_function(lambda x: x * 3)
+    assert code.kind == "binary"
+    fn = code.reconstruct()
+    assert fn(4) == 12
+
+
+def test_capture_closure_uses_binary_and_keeps_cell():
+    code = capture_function(make_closure(10))
+    assert code.kind == "binary"
+    assert code.reconstruct()(5) == 15
+
+
+def test_reconstruct_source_into_shared_namespace():
+    code = capture_function(plain_function)
+    ns = {}
+    fn = code.reconstruct(ns)
+    assert fn(3) == 6
+    assert ns["plain_function"] is fn
+
+
+def test_reconstruct_bad_kind_rejected():
+    code = FunctionCode(name="x", kind="mystery", payload=b"")
+    with pytest.raises(DiscoveryError):
+        code.reconstruct()
+
+
+def test_reconstruct_source_defining_wrong_name_rejected():
+    code = FunctionCode(name="expected", kind="source", payload=b"def other():\n    pass\n")
+    with pytest.raises(DiscoveryError, match="did not define"):
+        code.reconstruct()
+
+
+def test_reconstruct_noncallable_rejected():
+    code = FunctionCode(
+        name="notafn", kind="source", payload=b"notafn = 42\ndef notafn_helper():\n    pass\n"
+    )
+    with pytest.raises(DiscoveryError):
+        code.reconstruct()
+
+
+def test_function_code_hash_distinguishes_payloads():
+    a = capture_function(plain_function)
+    b = capture_function(decorated_function.__wrapped__)
+    assert a.hash != b.hash
+
+
+def test_capture_function_rejects_noncallable():
+    with pytest.raises(DiscoveryError):
+        capture_function(42)  # type: ignore[arg-type]
+
+
+def test_captured_source_roundtrip_same_behaviour():
+    code = capture_function(plain_function)
+    fn = code.reconstruct()
+    for x in range(5):
+        assert fn(x) == plain_function(x)
+
+
+def test_exec_generated_function_falls_back_to_binary():
+    ns = {}
+    exec("def generated(a):\n    return a - 1\n", ns)
+    code = capture_function(ns["generated"])
+    assert code.kind == "binary"
+    assert code.reconstruct()(10) == 9

@@ -1,0 +1,219 @@
+"""Unit + property tests for the DES kernel and fair-share resource."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SimulationError
+from repro.sim.des import EventQueue, FairShareResource
+
+
+# ----------------------------------------------------------------- event queue
+def test_events_fire_in_time_order():
+    q = EventQueue()
+    fired = []
+    q.schedule(3.0, lambda: fired.append("c"))
+    q.schedule(1.0, lambda: fired.append("a"))
+    q.schedule(2.0, lambda: fired.append("b"))
+    q.run()
+    assert fired == ["a", "b", "c"]
+    assert q.now == 3.0
+
+
+def test_ties_break_by_insertion_order():
+    q = EventQueue()
+    fired = []
+    for label in "abc":
+        q.schedule(1.0, lambda l=label: fired.append(l))
+    q.run()
+    assert fired == ["a", "b", "c"]
+
+
+def test_cancel_prevents_firing():
+    q = EventQueue()
+    fired = []
+    eid = q.schedule(1.0, lambda: fired.append("x"))
+    assert q.cancel(eid)
+    assert not q.cancel(eid)  # second cancel reports failure
+    q.run()
+    assert fired == []
+
+
+def test_negative_delay_rejected():
+    with pytest.raises(SimulationError):
+        EventQueue().schedule(-0.1, lambda: None)
+
+
+def test_callbacks_can_schedule_more():
+    q = EventQueue()
+    fired = []
+
+    def chain(n):
+        fired.append(n)
+        if n < 4:
+            q.schedule(1.0, lambda: chain(n + 1))
+
+    q.schedule(0.0, lambda: chain(0))
+    q.run()
+    assert fired == [0, 1, 2, 3, 4]
+    assert q.now == 4.0
+
+
+def test_run_until_bound():
+    q = EventQueue()
+    fired = []
+    for i in range(5):
+        q.schedule(float(i), lambda i=i: fired.append(i))
+    q.run(until=2.5)
+    assert fired == [0, 1, 2]
+    assert q.now == 2.5
+
+
+def test_max_events_guard():
+    q = EventQueue()
+
+    def forever():
+        q.schedule(0.001, forever)
+
+    q.schedule(0.0, forever)
+    with pytest.raises(SimulationError, match="runaway"):
+        q.run(max_events=100)
+
+
+def test_schedule_at():
+    q = EventQueue()
+    fired = []
+    q.schedule_at(5.0, lambda: fired.append(q.now))
+    q.run()
+    assert fired == [5.0]
+
+
+# ------------------------------------------------------------------ fair share
+def test_single_job_runs_at_capacity():
+    q = EventQueue()
+    fs = FairShareResource(q, capacity=10.0)
+    done = []
+    fs.submit(100.0, lambda: done.append(q.now))
+    q.run()
+    assert done == [pytest.approx(10.0)]
+
+
+def test_per_job_cap_limits_solo_rate():
+    q = EventQueue()
+    fs = FairShareResource(q, capacity=10.0, per_job_cap=2.0)
+    done = []
+    fs.submit(10.0, lambda: done.append(q.now))
+    q.run()
+    assert done == [pytest.approx(5.0)]
+
+
+def test_two_equal_jobs_share_capacity():
+    q = EventQueue()
+    fs = FairShareResource(q, capacity=10.0)
+    done = []
+    fs.submit(100.0, lambda: done.append(("a", q.now)))
+    fs.submit(100.0, lambda: done.append(("b", q.now)))
+    q.run()
+    # Both proceed at 5 units/s: both finish at t=20.
+    assert [t for _, t in done] == [pytest.approx(20.0), pytest.approx(20.0)]
+
+
+def test_late_arrival_slows_first_job():
+    q = EventQueue()
+    fs = FairShareResource(q, capacity=10.0)
+    done = {}
+    fs.submit(100.0, lambda: done.setdefault("first", q.now))
+    q.schedule(5.0, lambda: fs.submit(50.0, lambda: done.setdefault("second", q.now)))
+    q.run()
+    # First job: 50 units alone (5s), then shares: 50 more at 5/s = 10s -> t=15.
+    assert done["first"] == pytest.approx(15.0)
+    # Second: 25 units shared (5s to t=10... ) then finishes after first.
+    assert done["second"] == pytest.approx(15.0)
+
+
+def test_completion_order_matches_work_order():
+    q = EventQueue()
+    fs = FairShareResource(q, capacity=1.0)
+    order = []
+    fs.submit(30.0, lambda: order.append("big"))
+    fs.submit(10.0, lambda: order.append("small"))
+    q.run()
+    assert order == ["small", "big"]
+
+
+def test_zero_work_completes_immediately():
+    q = EventQueue()
+    fs = FairShareResource(q, capacity=1.0)
+    done = []
+    fs.submit(0.0, lambda: done.append(q.now))
+    q.run()
+    assert done and done[0] == pytest.approx(0.0, abs=1e-6)
+
+
+def test_negative_work_rejected():
+    q = EventQueue()
+    fs = FairShareResource(q, capacity=1.0)
+    with pytest.raises(SimulationError):
+        fs.submit(-1.0, lambda: None)
+
+
+def test_bad_capacity_rejected():
+    with pytest.raises(SimulationError):
+        FairShareResource(EventQueue(), capacity=0.0)
+
+
+def test_byte_scale_work_does_not_spin():
+    """Regression: float rounding at 1e8+ work units must not cause
+    zero-delay rescheduling loops (relative-tolerance completion)."""
+    q = EventQueue()
+    fs = FairShareResource(q, capacity=6.0e7, per_job_cap=6.0e7)
+    done = []
+    for i in range(50):
+        q.schedule(i * 0.01, lambda: fs.submit(8.0e8, lambda: done.append(q.now)))
+    q.run(max_events=5000)
+    assert len(done) == 50
+
+
+def test_stats_counters():
+    q = EventQueue()
+    fs = FairShareResource(q, capacity=10.0)
+    fs.submit(10.0, lambda: None)
+    fs.submit(10.0, lambda: None)
+    q.run()
+    assert fs.total_jobs == 2
+    assert fs.peak_concurrency == 2
+    # 20 total work units through capacity 10 => busy for 2 seconds.
+    assert fs.busy_time == pytest.approx(2.0)
+    assert fs.active_jobs == 0
+
+
+def test_estimated_solo_time():
+    fs = FairShareResource(EventQueue(), capacity=10.0, per_job_cap=2.0)
+    assert fs.estimated_solo_time(10.0) == pytest.approx(5.0)
+
+
+@settings(deadline=None, max_examples=40)
+@given(
+    works=st.lists(
+        st.floats(min_value=0.1, max_value=100.0), min_size=1, max_size=12
+    ),
+    arrivals=st.lists(st.floats(min_value=0.0, max_value=10.0), min_size=12, max_size=12),
+)
+def test_fairshare_conservation_property(works, arrivals):
+    """All jobs complete; total busy time >= total work / capacity (sharing
+    can never create capacity); each job takes at least its solo time."""
+    q = EventQueue()
+    capacity = 10.0
+    fs = FairShareResource(q, capacity=capacity)
+    done = {}
+    for i, work in enumerate(works):
+        arrival = arrivals[i]
+
+        def start(i=i, work=work, arrival=arrival):
+            fs.submit(work, lambda: done.setdefault(i, q.now - arrival))
+
+        q.schedule(arrival, start)
+    q.run(max_events=10_000)
+    assert len(done) == len(works)
+    for i, work in enumerate(works):
+        assert done[i] >= work / capacity - 1e-6
+    assert fs.busy_time >= sum(works) / capacity - 1e-6

@@ -1,0 +1,97 @@
+"""Unit tests for content hashing (unique immutable data naming)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.hashing import (
+    content_hash,
+    hash_bytes,
+    hash_file,
+    merkle_root,
+    short_hash,
+)
+
+
+def test_hash_bytes_known_vector():
+    # SHA-256 of empty input is a standard vector.
+    assert hash_bytes(b"") == (
+        "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+    )
+
+
+def test_hash_bytes_differs_on_content():
+    assert hash_bytes(b"a") != hash_bytes(b"b")
+
+
+def test_hash_file_matches_hash_bytes(tmp_path):
+    payload = b"some file contents" * 1000
+    path = tmp_path / "data.bin"
+    path.write_bytes(payload)
+    assert hash_file(path) == hash_bytes(payload)
+
+
+def test_hash_file_large_chunked(tmp_path):
+    payload = bytes(range(256)) * 8192  # 2 MiB crosses the chunk boundary
+    path = tmp_path / "big.bin"
+    path.write_bytes(payload)
+    assert hash_file(path) == hash_bytes(payload)
+
+
+def test_content_hash_is_framing_safe():
+    # Length prefixing means part boundaries matter.
+    assert content_hash(b"ab", b"c") != content_hash(b"a", b"bc")
+    assert content_hash("ab", "c") != content_hash("abc")
+
+
+def test_content_hash_accepts_mixed_types():
+    assert content_hash("x", b"x") == content_hash(b"x", "x")
+
+
+def test_short_hash_prefix():
+    full = hash_bytes(b"hello")
+    assert short_hash(full) == full[:12]
+    assert short_hash(full, 4) == full[:4]
+
+
+def test_short_hash_rejects_nonpositive():
+    with pytest.raises(ValueError):
+        short_hash("abc", 0)
+
+
+def test_merkle_root_order_sensitivity():
+    a, b = hash_bytes(b"a"), hash_bytes(b"b")
+    assert merkle_root([a, b]) != merkle_root([b, a])
+
+
+def test_merkle_root_count_sensitivity():
+    a = hash_bytes(b"a")
+    assert merkle_root([a]) != merkle_root([a, a])
+
+
+def test_merkle_root_empty_is_stable():
+    assert merkle_root([]) == merkle_root([])
+
+
+@given(st.binary(max_size=256), st.binary(max_size=256))
+def test_hash_bytes_injective_on_samples(x, y):
+    if x != y:
+        assert hash_bytes(x) != hash_bytes(y)
+    else:
+        assert hash_bytes(x) == hash_bytes(y)
+
+
+@given(st.lists(st.binary(max_size=64), max_size=6))
+def test_content_hash_deterministic(parts):
+    assert content_hash(*parts) == content_hash(*parts)
+
+
+@given(
+    st.lists(st.binary(max_size=32), min_size=2, max_size=5),
+    st.integers(min_value=1, max_value=3),
+)
+def test_content_hash_framing_property(parts, split):
+    """Joining two adjacent parts changes the hash (prefix-free framing)."""
+    split = min(split, len(parts) - 1)
+    joined = parts[: split - 1] + [parts[split - 1] + parts[split]] + parts[split + 1 :]
+    if joined != parts:
+        assert content_hash(*parts) != content_hash(*joined)

@@ -1,0 +1,89 @@
+"""Unit tests for structured logging and trace export."""
+
+import csv
+import json
+import logging
+
+import pytest
+
+from repro.sim import ReuseLevel, run_lnni
+from repro.util.logging import get_logger, reset_for_tests
+
+
+@pytest.fixture(autouse=True)
+def clean_logging():
+    reset_for_tests()
+    yield
+    reset_for_tests()
+
+
+def test_silent_by_default(monkeypatch, capsys):
+    monkeypatch.delenv("REPRO_LOG", raising=False)
+    log = get_logger("manager")
+    log.info("should not appear")
+    assert capsys.readouterr().err == ""
+
+
+def test_env_enables_logging(monkeypatch, capsys):
+    monkeypatch.setenv("REPRO_LOG", "debug")
+    log = get_logger("worker.w0")
+    log.debug("protocol detail %d", 42)
+    err = capsys.readouterr().err
+    assert "protocol detail 42" in err
+    assert "repro.worker.w0" in err
+
+
+def test_level_filtering(monkeypatch, capsys):
+    monkeypatch.setenv("REPRO_LOG", "warning")
+    log = get_logger("manager")
+    log.info("hidden")
+    log.warning("visible")
+    err = capsys.readouterr().err
+    assert "hidden" not in err and "visible" in err
+
+
+def test_child_loggers_share_configuration(monkeypatch):
+    monkeypatch.setenv("REPRO_LOG", "info")
+    a = get_logger("a")
+    b = get_logger("b")
+    assert a.parent is b.parent
+    assert isinstance(a, logging.Logger)
+
+
+def test_unknown_level_falls_back_to_info(monkeypatch, capsys):
+    monkeypatch.setenv("REPRO_LOG", "bogus-level")
+    get_logger("x").info("still works")
+    assert "still works" in capsys.readouterr().err
+
+
+# ---------------------------------------------------------------- trace export
+@pytest.fixture(scope="module")
+def small_result():
+    return run_lnni(ReuseLevel.L3, n_invocations=200, n_workers=4)
+
+
+def test_to_dict_fields(small_result):
+    d = small_result.to_dict()
+    assert d["invocations"] == 200
+    assert d["level"] == "L3"
+    assert d["makespan"] > 0
+    assert d["peak_libraries"] >= 1
+
+
+def test_save_json_roundtrip(small_result, tmp_path):
+    path = tmp_path / "run.json"
+    small_result.save_json(str(path))
+    loaded = json.loads(path.read_text())
+    assert loaded["workload"] == small_result.workload
+    assert loaded["library_timeline"]
+    assert loaded["share_timeline"]
+
+
+def test_save_runtimes_csv(small_result, tmp_path):
+    path = tmp_path / "runtimes.csv"
+    small_result.save_runtimes_csv(str(path))
+    with open(path) as fh:
+        rows = list(csv.reader(fh))
+    assert rows[0] == ["index", "runtime_seconds"]
+    assert len(rows) == 201
+    assert float(rows[1][1]) > 0

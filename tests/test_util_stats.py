@@ -1,0 +1,115 @@
+"""Unit + property tests for summary statistics and histograms."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.stats import Histogram, percentile, summarize
+
+finite_floats = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+def test_summarize_simple():
+    s = summarize([1.0, 2.0, 3.0])
+    assert s.mean == pytest.approx(2.0)
+    assert s.min == 1.0 and s.max == 3.0
+    assert s.std == pytest.approx(1.0)
+    assert s.count == 3
+
+
+def test_summarize_single_value_has_zero_std():
+    s = summarize([5.0])
+    assert s.std == 0.0
+    assert s.mean == s.min == s.max == 5.0
+
+
+def test_summarize_empty_raises():
+    with pytest.raises(ValueError):
+        summarize([])
+
+
+def test_summary_row_formatting():
+    s = summarize([1.234, 5.678])
+    row = s.row(precision=1)
+    assert row == ("3.5", "3.1", "1.2", "5.7")
+
+
+@given(st.lists(finite_floats, min_size=2, max_size=200))
+def test_summarize_matches_numpy(values):
+    s = summarize(values)
+    assert s.mean == pytest.approx(float(np.mean(values)), rel=1e-9, abs=1e-6)
+    assert s.std == pytest.approx(float(np.std(values, ddof=1)), rel=1e-6, abs=1e-6)
+    assert s.min == min(values) and s.max == max(values)
+
+
+def test_histogram_basic_binning():
+    h = Histogram(0.0, 10.0, 10)
+    h.extend([0.5, 1.5, 1.6, 9.99])
+    assert h.counts[0] == 1
+    assert h.counts[1] == 2
+    assert h.counts[9] == 1
+    assert h.total == 4
+
+
+def test_histogram_overflow_underflow():
+    h = Histogram(0.0, 10.0, 5)
+    h.extend([-1.0, 10.0, 100.0, 5.0])
+    assert h.underflow == 1
+    assert h.overflow == 2
+    assert sum(h.counts) == 1
+
+
+def test_histogram_mode_range():
+    h = Histogram(0.0, 10.0, 10)
+    h.extend([3.1, 3.2, 3.9, 7.0])
+    assert h.mode_range() == (3.0, 4.0)
+
+
+def test_histogram_edges():
+    h = Histogram(0.0, 4.0, 4)
+    assert h.edges() == [0.0, 1.0, 2.0, 3.0, 4.0]
+
+
+def test_histogram_render_contains_counts():
+    h = Histogram(0.0, 2.0, 2)
+    h.extend([0.5, 1.5, 1.6])
+    text = h.render(width=10)
+    assert "2" in text and "1" in text
+
+
+def test_histogram_rejects_bad_ranges():
+    with pytest.raises(ValueError):
+        Histogram(1.0, 1.0, 4)
+    with pytest.raises(ValueError):
+        Histogram(0.0, 1.0, 0)
+
+
+@given(st.lists(st.floats(min_value=0, max_value=100, allow_nan=False), max_size=500))
+def test_histogram_conserves_observations(values):
+    h = Histogram(10.0, 60.0, 7)
+    h.extend(values)
+    assert h.total == len(values)
+
+
+def test_percentile_endpoints():
+    data = [1.0, 2.0, 3.0, 4.0]
+    assert percentile(data, 0) == 1.0
+    assert percentile(data, 100) == 4.0
+    assert percentile(data, 50) == pytest.approx(2.5)
+
+
+def test_percentile_errors():
+    with pytest.raises(ValueError):
+        percentile([], 50)
+    with pytest.raises(ValueError):
+        percentile([1.0], 101)
+
+
+@given(st.lists(finite_floats, min_size=1, max_size=100), st.floats(min_value=0, max_value=100))
+def test_percentile_within_range(values, q):
+    p = percentile(values, q)
+    assert min(values) <= p <= max(values) or math.isclose(p, min(values))

@@ -1,0 +1,76 @@
+"""Unit tests for timing helpers and deterministic RNG streams."""
+
+import time
+
+import pytest
+
+from repro.util.rng import seeded_rng, stable_seed
+from repro.util.timer import Stopwatch, Timer
+
+
+def test_timer_measures_elapsed():
+    with Timer() as t:
+        time.sleep(0.01)
+    assert t.elapsed >= 0.009
+
+
+def test_stopwatch_accumulates_named_spans():
+    w = Stopwatch()
+    with w.measure("a"):
+        time.sleep(0.005)
+    with w.measure("a"):
+        time.sleep(0.005)
+    with w.measure("b"):
+        pass
+    assert w.spans["a"] >= 0.009
+    assert "b" in w.spans
+    assert w.total() == pytest.approx(sum(w.spans.values()))
+
+
+def test_stopwatch_double_start_rejected():
+    w = Stopwatch()
+    w.start("x")
+    with pytest.raises(ValueError):
+        w.start("x")
+    w.stop("x")
+
+
+def test_stopwatch_stop_unstarted_rejected():
+    with pytest.raises(ValueError):
+        Stopwatch().stop("nope")
+
+
+def test_stopwatch_as_dict_copies():
+    w = Stopwatch()
+    with w.measure("a"):
+        pass
+    d = w.as_dict()
+    d["a"] = -1
+    assert w.spans["a"] >= 0
+
+
+def test_stable_seed_deterministic():
+    assert stable_seed("x", 1) == stable_seed("x", 1)
+
+
+def test_stable_seed_distinguishes_labels():
+    assert stable_seed("x", 1) != stable_seed("x", 2)
+    assert stable_seed("a", "bc") != stable_seed("ab", "c")
+
+
+def test_stable_seed_is_nonnegative_63bit():
+    for parts in [("a",), ("b", 2), ("c", "d", 3)]:
+        seed = stable_seed(*parts)
+        assert 0 <= seed < 2**63
+
+
+def test_seeded_rng_reproducible_stream():
+    a = seeded_rng("stream", 5).random(10)
+    b = seeded_rng("stream", 5).random(10)
+    assert (a == b).all()
+
+
+def test_seeded_rng_independent_streams():
+    a = seeded_rng("stream", 5).random(10)
+    b = seeded_rng("stream", 6).random(10)
+    assert (a != b).any()
