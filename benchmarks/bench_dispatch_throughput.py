@@ -1,0 +1,43 @@
+"""Dispatch-throughput microbenchmark for the manager hot path.
+
+Not a paper table: this guards the engine property the paper's whole
+argument rests on — per-invocation manager overhead in the low-ms range
+(Table 2's 2.52e-3 s; DESIGN.md §5).  N trivial invocations flow
+through 1 manager + k workers; we report invocations/s, per-invocation
+overhead, and the dispatch counters introduced with indexed scheduling.
+
+Run at the full 5k scale with ``REPRO_BENCH_FULL=1``.  To refresh the
+committed regression baseline (``BENCH_dispatch.json`` at the repo
+root, consumed by ``scripts/ci.sh``), set ``REPRO_WRITE_BASELINE=1``.
+"""
+
+import json
+import os
+
+from repro.bench import dispatch_throughput
+
+_BASELINE = os.path.join(os.path.dirname(__file__), "..", "BENCH_dispatch.json")
+
+
+def test_dispatch_throughput(benchmark, show):
+    result = benchmark.pedantic(dispatch_throughput, rounds=1, iterations=1)
+    show(result)
+    v = result.values
+    assert v["failed"] == 0
+    # Every dispatched invocation that shared a round with another bound
+    # for the same worker rode in an invocation_batch frame; at 4 slots
+    # per library and a deep queue, batching must actually engage.
+    assert v["batched_invocations"] > 0
+    # Dispatch work per round must be bounded by slot capacity churn, not
+    # by the total queue length: with n >> workers*slots, a scan-driven
+    # manager averages O(n) visits per round, the indexed one O(slots).
+    assert v["scan_per_round"] < v["n"] / 10
+    if os.environ.get("REPRO_WRITE_BASELINE", "") not in ("", "0"):
+        with open(_BASELINE, "w") as fh:
+            json.dump(
+                {k: round(val, 4) for k, val in v.items()},
+                fh,
+                indent=2,
+                sort_keys=True,
+            )
+            fh.write("\n")

@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# Repo CI gate: tier-1 test suite + dispatch-throughput smoke with a
+# regression check against the committed baseline (BENCH_dispatch.json).
+#
+# Usage:  scripts/ci.sh
+#
+# The throughput gate fails if invocations/s drops more than 30% below
+# the committed baseline at the same workload size.  Refresh the
+# baseline after intentional performance changes with:
+#   PYTHONPATH=src REPRO_WRITE_BASELINE=1 python -m pytest -q benchmarks/bench_dispatch_throughput.py
+set -euo pipefail
+cd "$(dirname "$0")/.."
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== tier-1 test suite =="
+python -m pytest -x -q
+
+echo "== dispatch-throughput smoke =="
+python - <<'GATE'
+import json
+import sys
+
+from repro.bench import dispatch_throughput
+
+result = dispatch_throughput()
+print(result.text)
+v = result.values
+if v["failed"]:
+    print(f"FAIL: {v['failed']} invocations failed")
+    sys.exit(1)
+
+try:
+    with open("BENCH_dispatch.json") as fh:
+        base = json.load(fh)
+except FileNotFoundError:
+    print("no BENCH_dispatch.json baseline committed; skipping regression gate")
+    sys.exit(0)
+
+if int(base.get("n", -1)) != int(v["n"]):
+    print(
+        f"baseline n={base.get('n')} differs from smoke n={v['n']} "
+        "(REPRO_BENCH_FULL mismatch?); skipping regression gate"
+    )
+    sys.exit(0)
+
+floor = 0.7 * base["invocations_per_second"]
+if v["invocations_per_second"] < floor:
+    print(
+        f"FAIL: dispatch throughput regressed >30%: "
+        f"{v['invocations_per_second']:.1f} inv/s vs baseline "
+        f"{base['invocations_per_second']:.1f} inv/s (floor {floor:.1f})"
+    )
+    sys.exit(1)
+print(
+    f"OK: {v['invocations_per_second']:.1f} inv/s "
+    f"(baseline {base['invocations_per_second']:.1f}, floor {floor:.1f})"
+)
+GATE
+echo "== ci passed =="

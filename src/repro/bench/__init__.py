@@ -12,6 +12,7 @@ from repro.bench.experiments import (
     ablation_library_slots,
     ablation_sim_distribution,
     ablation_transfer_modes,
+    dispatch_throughput,
     fig6_execution_times,
     fig7_histograms,
     fig8_invocation_length_sweep,
@@ -26,6 +27,7 @@ from repro.bench.experiments import (
 __all__ = [
     "TableResult",
     "format_table",
+    "dispatch_throughput",
     "table2_overhead",
     "table4_runtime_stats",
     "table5_overhead_breakdown",

@@ -21,6 +21,7 @@ from typing import Callable, Dict
 from repro.bench import experiments
 
 EXPERIMENTS: Dict[str, Callable[..., object]] = {
+    "dispatch": lambda n: experiments.dispatch_throughput(),
     "table2": lambda n: experiments.table2_overhead(),
     "fig6": lambda n: experiments.fig6_execution_times(lnni_invocations=n),
     "fig7": lambda n: experiments.fig7_histograms(n),

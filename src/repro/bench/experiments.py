@@ -125,6 +125,97 @@ def table2_overhead(n_invocations: int | None = None) -> TableResult:
     )
 
 
+# --------------------------------------------------- dispatch throughput
+def _bench_noop(x):
+    return x
+
+
+def dispatch_throughput(
+    n_invocations: int | None = None,
+    workers: int = 4,
+    *,
+    cores: int = 4,
+    function_slots: int = 4,
+) -> TableResult:
+    """Manager dispatch throughput: N trivial invocations, 1 manager + k workers.
+
+    The regression guard for the indexed-scheduling/batched-dispatch hot
+    path (DESIGN.md §5: the manager's serial per-invocation cost *is* the
+    100k-scale bottleneck).  Reports end-to-end invocations/s, the
+    per-invocation manager overhead, and the new ``Manager.stats``
+    dispatch counters; ``scan_per_round`` staying O(slots), independent
+    of the queue length, is the visible sign that dispatch work no
+    longer scales with queued-but-unplaceable invocations.
+    """
+    n = n_invocations or (5000 if _FULL else 800)
+    with Manager() as manager:
+        library = manager.create_library_from_functions(
+            "dispatch-bench", _bench_noop, function_slots=function_slots
+        )
+        manager.install_library(library)
+        with LocalWorkerFactory(manager, count=workers, cores=cores):
+            warmup = [
+                FunctionCall("dispatch-bench", "_bench_noop", i)
+                for i in range(workers * function_slots)
+            ]
+            for call in warmup:
+                manager.submit(call)
+            manager.wait_all(warmup, timeout=300.0)
+            base = {k: manager.stats.get(k, 0.0) for k in (
+                "dispatch_rounds", "queue_scan_len", "batched_invocations",
+            )}
+            started = time.monotonic()
+            calls = [
+                FunctionCall("dispatch-bench", "_bench_noop", i) for i in range(n)
+            ]
+            for call in calls:
+                manager.submit(call)
+            manager.wait_all(calls, timeout=max(600.0, 0.5 * n))
+            total = time.monotonic() - started
+            failed = sum(1 for c in calls if c.exception is not None)
+            rounds = manager.stats.get("dispatch_rounds", 0.0) - base["dispatch_rounds"]
+            scans = manager.stats.get("queue_scan_len", 0.0) - base["queue_scan_len"]
+            batched = (
+                manager.stats.get("batched_invocations", 0.0)
+                - base["batched_invocations"]
+            )
+    values: Dict[str, float] = {
+        "n": float(n),
+        "workers": float(workers),
+        "invocations_per_second": n / total,
+        "per_invocation_s": total / n,
+        "dispatch_rounds": rounds,
+        "queue_scan_len": scans,
+        "scan_per_round": scans / rounds if rounds else 0.0,
+        "batched_invocations": batched,
+        "batch_fraction": batched / n if n else 0.0,
+        "failed": float(failed),
+    }
+    text = format_table(
+        ["Metric", "Value"],
+        [
+            ["Invocations", str(n)],
+            ["Workers", str(workers)],
+            ["Total time (s)", f"{total:.3f}"],
+            ["Invocations / s", f"{values['invocations_per_second']:.1f}"],
+            ["Overhead per invocation (s)", f"{values['per_invocation_s']:.2e}"],
+            ["Dispatch rounds", f"{rounds:.0f}"],
+            ["Queue entries scanned", f"{scans:.0f}"],
+            ["Scans per round", f"{values['scan_per_round']:.2f}"],
+            ["Batched invocations", f"{batched:.0f} ({100 * values['batch_fraction']:.0f}%)"],
+        ],
+    )
+    return TableResult(
+        experiment="dispatch_throughput",
+        text=text,
+        values=values,
+        paper_reference=(
+            "Table 2 / §5: ~2.5 ms serial manager cost per invocation is the "
+            "lever that turns 7485 s into 414 s at 100k invocations"
+        ),
+    )
+
+
 # ------------------------------------------------------- LNNI level sweep (shared)
 _lnni_cache: Dict[tuple, RunResult] = {}
 

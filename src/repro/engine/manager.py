@@ -9,11 +9,22 @@ files (directly or via peer transfers per the configured
 Scheduling follows §3.5.2:
 
 * invocations are matched to ready library instances with free slots,
-  walking the hash ring;
+  via the placement layer's per-library free-slot index;
 * when no instance has a slot, a new instance is placed on the first
   worker with resources;
 * when nothing fits, an *empty library* of another function is evicted
   and its resources reclaimed.
+
+The dispatch hot path is event-driven rather than scan-driven: queued
+invocations live in per-library pending deques and a library is only
+visited when a *capacity event* (instance ready, invocation finished,
+worker joined, library evicted/failed, task finished) marks it dirty.
+Dispatch work per tick therefore does not scale with the number of
+queued-but-unplaceable invocations (`stats["queue_scan_len"]` stays flat
+while a queue is blocked).  Consecutive invocations bound for the same
+worker in one round are coalesced into a single ``invocation_batch``
+frame, and all control frames of a round share one buffered socket
+flush per worker.
 """
 
 from __future__ import annotations
@@ -44,7 +55,13 @@ from repro.engine.task import (
     TaskState,
     failure_from_message,
 )
-from repro.errors import EngineError, LibraryError, TaskFailure, WorkerError
+from repro.errors import (
+    EngineError,
+    LibraryError,
+    ProtocolError,
+    TaskFailure,
+    WorkerError,
+)
 from repro.serialize.core import deserialize, serialize
 from repro.util.logging import get_logger
 
@@ -112,7 +129,20 @@ class Manager:
         self._workers: Dict[str, _WorkerLink] = {}
         self._libraries: Dict[str, LibraryTask] = {}
         self._instances: Dict[int, _InstanceRecord] = {}
-        self._ready: Deque[Task] = collections.deque()
+        # Dispatch indexes: plain tasks queue separately from invocations,
+        # which are bucketed per library so a blocked library costs nothing
+        # per tick.  The dirty sets name the queues worth visiting; they
+        # are re-marked by capacity events, never by polling.
+        self._ready_tasks: Deque[PythonTask] = collections.deque()
+        self._pending_invocations: Dict[str, Deque[FunctionCall]] = {}
+        self._dirty_libraries: Set[str] = set()
+        self._tasks_dirty = False
+        # hash -> worker names confirmed to hold the file (peer-transfer
+        # source lookup without scanning every _WorkerLink).
+        self._file_holders: Dict[str, Set[str]] = {}
+        # worker -> invocation frames accumulated during the current
+        # dispatch round, coalesced into invocation_batch frames on flush.
+        self._outbox: Dict[str, List[tuple]] = {}
         self._running: Dict[int, Task] = {}
         self._invocation_instance: Dict[int, int] = {}  # task id -> instance id
         self._task_worker_key: Dict[int, str] = {}
@@ -255,12 +285,24 @@ class Manager:
             raise EngineError("libraries are installed, not submitted")
         task.state = TaskState.SUBMITTED
         task.mark("submitted", time.monotonic())
-        self._ready.append(task)
+        if isinstance(task, FunctionCall):
+            self._pending_invocations.setdefault(
+                task.library_name, collections.deque()
+            ).append(task)
+            self._dirty_libraries.add(task.library_name)
+        else:
+            self._ready_tasks.append(task)
+            self._tasks_dirty = True
         self.stats["submitted"] += 1
         return task.id
 
     def empty(self) -> bool:
-        return not self._ready and not self._running and not self._completed
+        return (
+            not self._ready_tasks
+            and not any(self._pending_invocations.values())
+            and not self._running
+            and not self._completed
+        )
 
     def wait(self, timeout: float = 5.0) -> Optional[Task]:
         """Advance the engine until a task completes or ``timeout`` passes."""
@@ -278,14 +320,22 @@ class Manager:
         pending = {t.id: t for t in tasks}
         deadline = time.monotonic() + timeout
         finished: List[Task] = []
-        while pending:
-            if time.monotonic() > deadline:
-                raise EngineError(f"timed out waiting on {len(pending)} tasks")
-            task = self.wait(timeout=min(1.0, deadline - time.monotonic()))
-            if task is not None and task.id in pending:
-                finished.append(pending.pop(task.id))
-            elif task is not None:
-                self._completed.append(task)  # not ours; put it back
+        # Tasks completed but not waited on are stashed aside, not pushed
+        # back into _completed: wait() serves _completed before advancing
+        # the engine, so a put-back would be re-returned immediately and
+        # this loop would spin without ever dispatching.
+        others: List[Task] = []
+        try:
+            while pending:
+                if time.monotonic() > deadline:
+                    raise EngineError(f"timed out waiting on {len(pending)} tasks")
+                task = self.wait(timeout=min(1.0, deadline - time.monotonic()))
+                if task is not None and task.id in pending:
+                    finished.append(pending.pop(task.id))
+                elif task is not None:
+                    others.append(task)
+        finally:
+            self._completed.extend(others)
         return finished
 
     def wait_for_workers(self, count: int, timeout: float = 60.0) -> None:
@@ -311,13 +361,16 @@ class Manager:
         execution shares the library process) and returns ``False``.
         """
         if task.state is TaskState.SUBMITTED:
-            try:
-                self._ready.remove(task)
-            except ValueError:
-                return False
+            # Tombstone instead of an O(n) deque removal: the task is
+            # finalized here and the queues skip non-SUBMITTED entries
+            # when next visited.
             task.set_exception(TaskFailure("cancelled before dispatch"))
             task.mark("completed", time.monotonic())
             self._completed.append(task)
+            if isinstance(task, FunctionCall):
+                self._dirty_libraries.add(task.library_name)
+            else:
+                self._tasks_dirty = True
             self.stats["cancelled"] += 1
             return True
         if task.state is TaskState.DISPATCHED and isinstance(task, PythonTask):
@@ -416,23 +469,107 @@ class Manager:
         self.placement.add_worker(name, resources)
         self.log.info("worker %s joined (%s)", name, resources)
         self._selector.register(conn.sock, selectors.EVENT_READ, ("worker", link))
+        self._wake_all()  # new capacity: every blocked queue is worth a visit
 
     # -------------------------------------------------------------- dispatch
+    def _wake_all(self) -> None:
+        """Mark every non-empty queue dirty after a capacity-change event."""
+        if self._ready_tasks:
+            self._tasks_dirty = True
+        for name, queue in self._pending_invocations.items():
+            if queue:
+                self._dirty_libraries.add(name)
+
     def _dispatch(self) -> None:
         if not self._workers:
             return
-        requeue: List[Task] = []
-        while self._ready:
-            task = self._ready.popleft()
-            if isinstance(task, PythonTask):
-                if not self._dispatch_python_task(task):
-                    requeue.append(task)
-            elif isinstance(task, FunctionCall):
-                if not self._dispatch_invocation(task):
-                    requeue.append(task)
-            else:  # pragma: no cover - submit() rejects other types
+        if not self._tasks_dirty and not self._dirty_libraries:
+            return
+        self.stats["dispatch_rounds"] += 1
+        try:
+            if self._tasks_dirty:
+                self._tasks_dirty = False
+                self._dispatch_task_queue()
+            while self._dirty_libraries:
+                self._dispatch_library_queue(self._dirty_libraries.pop())
+        finally:
+            self._flush_round()
+
+    def _dispatch_task_queue(self) -> None:
+        """Try every queued PythonTask (they have heterogeneous resource
+        asks, so a later task may fit where an earlier one did not)."""
+        requeue: List[PythonTask] = []
+        while self._ready_tasks:
+            task = self._ready_tasks.popleft()
+            if task.state is not TaskState.SUBMITTED:
+                continue  # cancelled tombstone
+            self.stats["queue_scan_len"] += 1
+            if not self._dispatch_python_task(task):
                 requeue.append(task)
-        self._ready.extend(requeue)
+        self._ready_tasks.extend(requeue)
+
+    def _dispatch_library_queue(self, library_name: str) -> None:
+        """Drain one library's pending deque into free slots.
+
+        When no instance has a free slot, grow capacity the way the old
+        per-tick scan did — one deploy attempt per still-uncovered pending
+        invocation, then one eviction attempt — and go dormant until the
+        next capacity event re-marks this library dirty.
+        """
+        queue = self._pending_invocations.get(library_name)
+        library = self._libraries.get(library_name)
+        if not queue or library is None:
+            return
+        warming_slots = 0
+        while queue:
+            head = queue[0]
+            if head.state is not TaskState.SUBMITTED:
+                queue.popleft()  # cancelled tombstone
+                continue
+            self.stats["queue_scan_len"] += 1
+            inst = self.placement.find_invocation_slot(library_name)
+            if inst is not None:
+                queue.popleft()
+                self._dispatch_invocation(head, inst)
+                continue
+            if warming_slots >= len(queue):
+                break  # instances already warming will cover the rest
+            if self._deploy_library_somewhere(library):
+                warming_slots += max(1, library.function_slots)
+                continue
+            if self._evict_empty_library(library_name):
+                break  # resources free when the removal ack arrives
+            break  # saturated; a capacity event will wake us
+
+    def _flush_round(self) -> None:
+        """Coalesce this round's invocations into per-worker batch frames
+        and flush every link's buffered control traffic in one write."""
+        outbox, self._outbox = self._outbox, {}
+        for worker, entries in outbox.items():
+            link = self._workers.get(worker)
+            if link is None:
+                continue  # lost mid-round; the loss path requeues its work
+            if len(entries) == 1:
+                header, payload = entries[0]
+                link.conn.send_buffered(dict(header, type="invocation"), payload)
+            else:
+                blob = bytearray()
+                for _, payload in entries:
+                    blob += len(payload).to_bytes(4, "big")
+                    blob += payload
+                link.conn.send_buffered(
+                    {
+                        "type": "invocation_batch",
+                        "invocations": [header for header, _ in entries],
+                    },
+                    bytes(blob),
+                )
+                self.stats["batched_invocations"] += len(entries)
+        for link in list(self._workers.values()):
+            try:
+                link.conn.flush()
+            except ProtocolError:
+                self._worker_lost(link)
 
     def _link_for(self, worker: str) -> _WorkerLink:
         link = self._workers.get(worker)
@@ -454,16 +591,18 @@ class Manager:
             f.peer_transfer
             and self.transfer_mode is not TransferMode.MANAGER_ONLY
         ):
-            holder = next(
-                (
-                    w
-                    for w in self._workers.values()
-                    if f.hash in w.cached and w.name != link.name and w.transfer_port
-                ),
-                None,
-            )
+            holder = None
+            for wname in self._file_holders.get(f.hash, ()):
+                candidate = self._workers.get(wname)
+                if (
+                    candidate is not None
+                    and candidate.name != link.name
+                    and candidate.transfer_port
+                ):
+                    holder = candidate
+                    break
             if holder is not None:
-                link.conn.send(
+                link.conn.send_buffered(
                     {
                         "type": "transfer",
                         "hash": f.hash,
@@ -477,7 +616,7 @@ class Manager:
                 self.stats["transfer_seconds"] += time.monotonic() - started
                 return
         data = self.store.read(f.hash)
-        link.conn.send(
+        link.conn.send_buffered(
             {"type": "put_file", "hash": f.hash, "name": f.remote_name, "size": f.size},
             data,
         )
@@ -512,7 +651,7 @@ class Manager:
                 "kwargs": task.kwargs,
             }
         )
-        link.conn.send(
+        link.conn.send_buffered(
             {
                 "type": "task",
                 "task_id": task.id,
@@ -530,31 +669,27 @@ class Manager:
         self._task_worker_key[task.id] = worker
         return True
 
-    def _dispatch_invocation(self, task: FunctionCall) -> bool:
+    def _dispatch_invocation(self, task: FunctionCall, inst: LibraryInstance) -> None:
+        """Bind ``task`` to ``inst`` and stage its frame in the round outbox.
+
+        The frame is not written to the socket here: ``_flush_round``
+        coalesces every invocation bound for the same worker in this
+        dispatch round into a single ``invocation_batch`` message.
+        """
         library = self._libraries[task.library_name]
-        inst = self.placement.find_invocation_slot(task.library_name)
-        if inst is None:
-            if self._deploy_library_somewhere(library):
-                return False  # instance warming up; stay queued
-            if self._evict_empty_library(task.library_name):
-                return False  # resources reclaimed; retry next round
-            return False
         link = self._link_for(inst.worker)
         for f in task.inputs:  # per-invocation input files, if any
             self._ensure_file(link, f)
         payload = serialize({"args": task.args, "kwargs": task.kwargs})
         mode = (task.exec_mode or library.exec_mode).value
-        link.conn.send(
-            {
-                "type": "invocation",
-                "task_id": task.id,
-                "instance_id": inst.instance_id,
-                "function": task.function_name,
-                "mode": mode,
-                "inputs": [{"hash": f.hash, "name": f.remote_name} for f in task.inputs],
-            },
-            payload,
-        )
+        header = {
+            "task_id": task.id,
+            "instance_id": inst.instance_id,
+            "function": task.function_name,
+            "mode": mode,
+            "inputs": [{"hash": f.hash, "name": f.remote_name} for f in task.inputs],
+        }
+        self._outbox.setdefault(inst.worker, []).append((header, payload))
         self.placement.start_invocation(inst)
         task.state = TaskState.DISPATCHED
         task.worker = inst.worker
@@ -562,7 +697,6 @@ class Manager:
         self._running[task.id] = task
         self._invocation_instance[task.id] = inst.instance_id
         self.stats["invocations_dispatched"] += 1
-        return True
 
     def _deploy_library_somewhere(self, library: LibraryTask) -> bool:
         """Place and send one new instance of ``library``; False if nothing fits."""
@@ -581,7 +715,7 @@ class Manager:
             self._ensure_file(link, f)
         if env_file is not None:
             self._ensure_file(link, env_file)
-        link.conn.send(
+        link.conn.send_buffered(
             {
                 "type": "library",
                 "instance_id": instance_id,
@@ -610,7 +744,9 @@ class Manager:
             return False
         record.removing = True
         link = self._link_for(victim.worker)
-        link.conn.send({"type": "remove_library", "instance_id": victim.instance_id})
+        link.conn.send_buffered(
+            {"type": "remove_library", "instance_id": victim.instance_id}
+        )
         self.stats["libraries_evicted"] += 1
         self.log.debug(
             "evicting idle library %s#%d on %s",
@@ -620,6 +756,13 @@ class Manager:
 
     # ---------------------------------------------------------- worker events
     def _handle_worker_message(self, link: _WorkerLink) -> None:
+        self._handle_one_worker_message(link)
+        # Drain frames already read ahead into the connection buffer —
+        # they will never trigger another selector wakeup.
+        while link.name in self._workers and link.conn.pending_bytes:
+            self._handle_one_worker_message(link)
+
+    def _handle_one_worker_message(self, link: _WorkerLink) -> None:
         try:
             message, payload = link.conn.receive(timeout=10.0)
         except Exception:
@@ -633,8 +776,10 @@ class Manager:
             link.assumed.discard(digest)
             if message.get("present"):
                 link.cached.add(digest)
+                self._file_holders.setdefault(digest, set()).add(link.name)
             else:
                 link.cached.discard(digest)
+                self._drop_holder(digest, link.name)
         elif mtype == "library_ready":
             self._on_library_ready(message)
         elif mtype == "library_failed":
@@ -654,6 +799,9 @@ class Manager:
             return
         record.deploy_times.update(message.get("times", {}))
         self.placement.library_ready(record.instance.worker, instance_id)
+        # A fresh idle instance: its own library gained slots, and every
+        # other starving library gained an eviction candidate.
+        self._wake_all()
 
     def _on_library_failed(self, message: dict) -> None:
         instance_id = int(message["instance_id"])
@@ -677,19 +825,18 @@ class Manager:
         except Exception:
             pass
         # Mark the library broken so queued invocations fail fast instead
-        # of redeploying forever.
-        library = self._libraries.get(record.library.name)
-        if library is not None:
-            failed = [
-                t
-                for t in self._ready
-                if isinstance(t, FunctionCall) and t.library_name == library.name
-            ]
-            for t in failed:
-                self._ready.remove(t)
+        # of redeploying forever: one drain of its pending deque, no
+        # per-task deque removals.
+        queue = self._pending_invocations.get(record.library.name)
+        if queue:
+            for t in queue:
+                if t.state is not TaskState.SUBMITTED:
+                    continue  # cancelled tombstone, already finalized
                 t.set_exception(failure_from_message(message))
                 t.mark("completed", time.monotonic())
                 self._completed.append(t)
+            queue.clear()
+        self._wake_all()  # the failed instance's resources are free again
 
     def _on_library_removed(self, message: dict) -> None:
         instance_id = int(message["instance_id"])
@@ -700,6 +847,7 @@ class Manager:
             self.placement.remove_library(record.instance.worker, instance_id)
         except Exception:
             pass
+        self._wake_all()  # reclaimed resources may unblock any queue
 
     def _finish_bookkeeping(self, task: Task) -> None:
         if isinstance(task, FunctionCall):
@@ -708,10 +856,17 @@ class Manager:
                 record = self._instances.get(instance_id)
                 if record is not None:
                     self.placement.finish_invocation(record.instance)
+                    # The freed slot only helps this library...
+                    self._dirty_libraries.add(task.library_name)
+                    # ...but a now-idle instance is an eviction candidate
+                    # for every other blocked queue.
+                    if record.instance.used_slots == 0:
+                        self._wake_all()
         elif isinstance(task, PythonTask):
             worker = self._task_worker_key.pop(task.id, None)
             if worker is not None and worker in self.placement.workers:
                 self.placement.finish_task(worker, task.resources)
+            self._wake_all()  # released worker resources may fit anything
 
     def _on_result(self, message: dict, payload: bytes) -> None:
         task_id = int(message["task_id"])
@@ -751,6 +906,13 @@ class Manager:
         self._completed.append(task)
         self.stats["failed"] += 1
 
+    def _drop_holder(self, digest: str, worker: str) -> None:
+        holders = self._file_holders.get(digest)
+        if holders is not None:
+            holders.discard(worker)
+            if not holders:
+                del self._file_holders[digest]
+
     def _worker_lost(self, link: _WorkerLink) -> None:
         """Fault tolerance: requeue the lost worker's in-flight work."""
         try:
@@ -759,6 +921,9 @@ class Manager:
             pass
         link.conn.close()
         self._workers.pop(link.name, None)
+        self._outbox.pop(link.name, None)
+        for digest in link.cached:
+            self._drop_holder(digest, link.name)
         self.log.warning("lost worker %s", link.name)
         if link.name not in self.placement.workers:
             return
@@ -786,5 +951,12 @@ class Manager:
             return
         task.state = TaskState.SUBMITTED
         task.worker = None
-        self._ready.append(task)
+        if isinstance(task, FunctionCall):
+            self._pending_invocations.setdefault(
+                task.library_name, collections.deque()
+            ).appendleft(task)
+            self._dirty_libraries.add(task.library_name)
+        else:
+            self._ready_tasks.appendleft(task)
+            self._tasks_dirty = True
         self.stats["requeued"] += 1

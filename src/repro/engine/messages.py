@@ -6,18 +6,32 @@ inside the JSON; a message that carries data declares ``payload_size``
 and the raw bytes follow the JSON frame.  This mirrors TaskVine's text
 protocol with out-of-band file streams and keeps the control plane
 debuggable.
+
+Two hot-path mechanisms keep small control frames cheap:
+
+* *vectored sends* — ``send_buffered`` stages frames and ``flush``
+  writes them with one gathering syscall, so a dispatch round that
+  stages files and invocations for a worker costs one write instead of
+  one per message (``send`` is ``send_buffered`` + ``flush``, and always
+  drains previously buffered frames first, preserving order);
+* *buffered receives* — ``_recv_exact`` reads the socket in large
+  chunks into a ``bytearray`` and serves exact slices through a
+  ``memoryview``, so unpacking a burst of small frames does not copy
+  the receive buffer once per slice.
 """
 
 from __future__ import annotations
 
 import json
 import socket
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.errors import ProtocolError
 
 MAX_MESSAGE = 64 * 1024 * 1024  # sanity cap on a JSON frame
 _HDR = 4
+_RECV_CHUNK = 1 << 16  # read ahead in 64 KiB chunks; leftovers stay buffered
+_COMPACT_AT = 1 << 20  # drop consumed prefix once it exceeds 1 MiB
 
 
 class Connection:
@@ -33,71 +47,116 @@ class Connection:
         self.name = name
         self.bytes_sent = 0
         self.bytes_received = 0
-        self._recv_buffer = b""
-        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1) if sock.family in (
-            socket.AF_INET,
-            socket.AF_INET6,
-        ) else None
+        self._recv_buffer = bytearray()
+        self._recv_pos = 0
+        self._send_buffer: List[bytes] = []
+        if sock.family in (socket.AF_INET, socket.AF_INET6):
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
 
     def fileno(self) -> int:
         return self.sock.fileno()
 
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes already read ahead into the receive buffer.
+
+        Event loops MUST drain messages while this is non-zero after a
+        readable event: buffered frames generate no further selector
+        wakeups.
+        """
+        return len(self._recv_buffer) - self._recv_pos
+
     # -- sending ---------------------------------------------------------
-    def send(self, message: Dict[str, Any], payload: bytes = b"") -> None:
+    def send_buffered(self, message: Dict[str, Any], payload: bytes = b"") -> None:
+        """Stage one frame without touching the socket; ``flush`` writes
+        every staged frame in a single gathered ``sendall``."""
         if payload:
             message = dict(message, payload_size=len(payload))
         blob = json.dumps(message, separators=(",", ":")).encode("utf-8")
         if len(blob) > MAX_MESSAGE:
             raise ProtocolError(f"message too large: {len(blob)} bytes")
-        frame = len(blob).to_bytes(_HDR, "big") + blob + payload
+        self._send_buffer.append(len(blob).to_bytes(_HDR, "big") + blob)
+        if payload:
+            self._send_buffer.append(payload)
+
+    def flush(self) -> None:
+        if not self._send_buffer:
+            return
+        data = b"".join(self._send_buffer)
+        self._send_buffer.clear()
         try:
-            self.sock.sendall(frame)
+            self.sock.sendall(data)
         except OSError as exc:
             raise ProtocolError(f"send to {self.name} failed: {exc}") from exc
-        self.bytes_sent += len(frame)
+        self.bytes_sent += len(data)
+
+    def send(self, message: Dict[str, Any], payload: bytes = b"") -> None:
+        self.send_buffered(message, payload)
+        self.flush()
 
     # -- receiving -------------------------------------------------------
     def _recv_exact(self, n: int, timeout: Optional[float]) -> bytes:
-        """Read exactly ``n`` bytes, honouring buffered leftovers."""
+        """Serve exactly ``n`` bytes from the read-ahead buffer, growing
+        it from the socket as needed.  Consumed bytes stay in the buffer
+        (only ``_recv_pos`` advances) so ``receive`` can rewind a
+        partially-read message on timeout."""
         self.sock.settimeout(timeout)
-        chunks = []
-        if self._recv_buffer:
-            take = self._recv_buffer[:n]
-            self._recv_buffer = self._recv_buffer[len(take):]
-            chunks.append(take)
-            n -= len(take)
-        while n > 0:
+        buf = self._recv_buffer
+        while len(buf) - self._recv_pos < n:
+            want = max(_RECV_CHUNK, n - (len(buf) - self._recv_pos))
             try:
-                chunk = self.sock.recv(min(n, 1 << 20))
+                chunk = self.sock.recv(min(want, 1 << 20))
             except socket.timeout:
                 raise TimeoutError(f"recv from {self.name} timed out") from None
             except OSError as exc:
                 raise ProtocolError(f"recv from {self.name} failed: {exc}") from exc
             if not chunk:
                 raise ProtocolError(f"connection to {self.name} closed mid-message")
-            chunks.append(chunk)
-            n -= len(chunk)
-        data = b"".join(chunks)
-        self.bytes_received += len(data)
-        return data
+            buf += chunk
+        pos = self._recv_pos
+        self._recv_pos = pos + n
+        self.bytes_received += n
+        return bytes(memoryview(buf)[pos:pos + n])
+
+    def _compact(self) -> None:
+        """Reclaim the consumed prefix between complete messages."""
+        if self._recv_pos == len(self._recv_buffer):
+            del self._recv_buffer[:]
+            self._recv_pos = 0
+        elif self._recv_pos > _COMPACT_AT:
+            del self._recv_buffer[:self._recv_pos]
+            self._recv_pos = 0
 
     def receive(
         self, timeout: Optional[float] = None
     ) -> Tuple[Dict[str, Any], bytes]:
-        """Receive one message; returns (message, payload)."""
-        header = self._recv_exact(_HDR, timeout)
-        length = int.from_bytes(header, "big")
-        if length > MAX_MESSAGE:
-            raise ProtocolError(f"oversized frame announced: {length}")
-        blob = self._recv_exact(length, timeout)
+        """Receive one message; returns (message, payload).
+
+        A ``TimeoutError`` mid-message rewinds to the message start, so
+        polling callers (short timeouts) can simply retry without
+        desynchronizing the frame stream.
+        """
+        start = self._recv_pos
         try:
-            message = json.loads(blob.decode("utf-8"))
-        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
-            raise ProtocolError(f"bad JSON frame from {self.name}: {exc}") from exc
-        if not isinstance(message, dict) or "type" not in message:
-            raise ProtocolError(f"frame from {self.name} lacks a type")
-        payload_size = int(message.get("payload_size", 0))
-        payload = self._recv_exact(payload_size, timeout) if payload_size else b""
+            header = self._recv_exact(_HDR, timeout)
+            length = int.from_bytes(header, "big")
+            if length > MAX_MESSAGE:
+                raise ProtocolError(f"oversized frame announced: {length}")
+            blob = self._recv_exact(length, timeout)
+            try:
+                message = json.loads(blob.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                raise ProtocolError(
+                    f"bad JSON frame from {self.name}: {exc}"
+                ) from exc
+            if not isinstance(message, dict) or "type" not in message:
+                raise ProtocolError(f"frame from {self.name} lacks a type")
+            payload_size = int(message.get("payload_size", 0))
+            payload = self._recv_exact(payload_size, timeout) if payload_size else b""
+        except TimeoutError:
+            self._recv_pos = start
+            raise
+        self._compact()
         return message, payload
 
     def close(self) -> None:

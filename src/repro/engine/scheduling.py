@@ -9,13 +9,20 @@ instructs the worker to remove that library and reclaim resources."
 
 All classes here are pure bookkeeping — no sockets — so the policy is
 unit-testable and shared by the real engine and the simulator.
+
+Invocation placement is O(1) amortized: :class:`Placement` maintains an
+exact per-library *free-slot index* (every ready instance with at least
+one free slot) that is updated incrementally on every state transition
+(ready, start, finish, removal, worker loss) instead of re-scanning all
+workers per invocation.  ``free_index_snapshot`` exposes the index so
+tests can assert it always agrees with a brute-force scan.
 """
 
 from __future__ import annotations
 
 from bisect import bisect_right, insort
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Set, Tuple
 
 from repro.engine.resources import ResourcePool, Resources
 from repro.errors import SchedulingError
@@ -108,6 +115,32 @@ class Placement:
         self.ring = HashRing()
         self.workers: Dict[str, WorkerSlot] = {}
         self._next_instance = 1
+        # library name -> {instance_id: instance} for every ready instance
+        # with free_slots > 0.  Kept exact on every transition so
+        # find_invocation_slot is O(1) instead of O(workers × instances).
+        self._free_slots: Dict[str, Dict[int, LibraryInstance]] = {}
+
+    # -- free-slot index ---------------------------------------------------
+    def _reindex(self, inst: LibraryInstance) -> None:
+        """Sync one instance's membership in the free-slot index."""
+        bucket = self._free_slots.setdefault(inst.library_name, {})
+        if inst.free_slots > 0:
+            bucket[inst.instance_id] = inst
+        else:
+            bucket.pop(inst.instance_id, None)
+            if not bucket:
+                del self._free_slots[inst.library_name]
+
+    def _unindex(self, inst: LibraryInstance) -> None:
+        bucket = self._free_slots.get(inst.library_name)
+        if bucket is not None:
+            bucket.pop(inst.instance_id, None)
+            if not bucket:
+                del self._free_slots[inst.library_name]
+
+    def free_index_snapshot(self) -> Dict[str, Set[int]]:
+        """Copy of the free-slot index, for tests and introspection."""
+        return {name: set(bucket) for name, bucket in self._free_slots.items()}
 
     # -- membership -------------------------------------------------------
     def add_worker(self, name: str, total: Resources) -> None:
@@ -121,6 +154,8 @@ class Placement:
         if slot is None:
             raise SchedulingError(f"worker {name!r} not known")
         self.ring.remove(name)
+        for inst in slot.libraries.values():
+            self._unindex(inst)
         return slot
 
     # -- library lifecycle --------------------------------------------------
@@ -148,26 +183,34 @@ class Placement:
         return None
 
     def library_ready(self, worker: str, instance_id: int) -> None:
-        self.workers[worker].libraries[instance_id].ready = True
+        inst = self.workers[worker].libraries[instance_id]
+        inst.ready = True
+        self._reindex(inst)
 
     def remove_library(self, worker: str, instance_id: int) -> LibraryInstance:
         slot = self.workers[worker]
-        inst = slot.libraries.pop(instance_id, None)
+        inst = slot.libraries.get(instance_id)
         if inst is None:
             raise SchedulingError(f"no library instance {instance_id} on {worker}")
         if inst.used_slots:
             raise SchedulingError("cannot remove a library with active invocations")
+        del slot.libraries[instance_id]
+        self._unindex(inst)
         slot.pool.release(inst.resources)
         return inst
 
     # -- invocation placement ------------------------------------------------
     def find_invocation_slot(self, library_name: str) -> Optional[LibraryInstance]:
-        """A ready instance of ``library_name`` with a free slot, ring order."""
-        for wname in self.ring.walk(library_name):
-            for inst in self.workers[wname].instances_of(library_name):
-                if inst.free_slots > 0:
-                    return inst
-        return None
+        """A ready instance of ``library_name`` with a free slot.
+
+        O(1): peeks the per-library free-slot index (FIFO by readiness,
+        so instances fill in deployment order) instead of walking the
+        ring and every worker's instance table.
+        """
+        bucket = self._free_slots.get(library_name)
+        if not bucket:
+            return None
+        return next(iter(bucket.values()))
 
     def find_evictable_library(
         self, library_name: Optional[str]
@@ -193,12 +236,17 @@ class Placement:
         if inst.free_slots <= 0:
             raise SchedulingError("library instance has no free slot")
         inst.used_slots += 1
+        self._reindex(inst)
 
     def finish_invocation(self, inst: LibraryInstance) -> None:
         if inst.used_slots <= 0:
             raise SchedulingError("no invocation in flight on this instance")
         inst.used_slots -= 1
         inst.total_served += 1
+        if inst.worker in self.workers and (
+            inst.instance_id in self.workers[inst.worker].libraries
+        ):
+            self._reindex(inst)
 
     # -- plain task placement -----------------------------------------------
     def place_task(self, key: str, resources: Resources) -> Optional[str]:

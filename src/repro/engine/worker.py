@@ -30,6 +30,7 @@ import uuid
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
+import repro
 from repro.discover.packaging import unpack_environment
 from repro.engine import messages
 from repro.engine.cache import WorkerCache
@@ -37,6 +38,24 @@ from repro.engine.resources import Resources
 from repro.engine.sandbox import ARGS_FILE, RESULT_FILE, Sandbox
 from repro.errors import CacheError, EngineError, ProtocolError
 from repro.util.logging import get_logger
+
+
+def _child_env() -> Dict[str, str]:
+    """Environment for spawned runner/library processes.
+
+    Children run with ``cwd`` inside their sandbox, so any *relative*
+    ``PYTHONPATH`` entry the worker inherited (e.g. ``src`` from the
+    test harness) would no longer resolve.  Prepend the absolute parent
+    directory of the installed ``repro`` package so subprocesses import
+    the same code regardless of the caller's working directory.
+    """
+    env = dict(os.environ)
+    pkg_parent = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    parts = [pkg_parent] + [
+        p for p in env.get("PYTHONPATH", "").split(os.pathsep) if p
+    ]
+    env["PYTHONPATH"] = os.pathsep.join(dict.fromkeys(parts))
+    return env
 
 
 @dataclass
@@ -147,6 +166,13 @@ class Worker:
         os.makedirs(self.sandbox_root, exist_ok=True)
         self.env_root = os.path.join(self.workdir, "envs")
         os.makedirs(self.env_root, exist_ok=True)
+        # Library UNIX sockets live under the worker's own workdir so
+        # parallel runs never collide and leftovers die with the workdir.
+        # AF_UNIX paths are capped (~108 bytes); fall back to a private
+        # short tempdir when the workdir is nested too deep.
+        self.socket_root = os.path.join(self.workdir, "sockets")
+        os.makedirs(self.socket_root, exist_ok=True)
+        self._socket_fallback: Optional[str] = None
         self.transfer_server = _TransferServer(self.cache.root)
         self.manager = messages.connect(manager_host, manager_port, name="manager")
         self.tasks: Dict[int, _RunningTask] = {}
@@ -196,6 +222,7 @@ class Worker:
                         self._accept_library(ref)
                     elif kind == "lib-conn":
                         self._handle_library_message(ref)
+                self._drain_buffered()
                 self._poll_tasks()
                 now = time.monotonic()
                 if now - last_status >= 2.0:
@@ -205,6 +232,25 @@ class Worker:
             pass  # manager went away; shut down quietly
         finally:
             self.shutdown()
+
+    def _drain_buffered(self) -> None:
+        """Process frames already read ahead into connection buffers.
+
+        The selector only wakes on new socket data; a batched flush from
+        the manager (or a library) may leave complete frames sitting in
+        the userspace receive buffer, which must be drained here or they
+        would stall until unrelated traffic arrives.
+        """
+        while self._running and self.manager.pending_bytes:
+            self._handle_manager_message()
+        for handle in list(self.libraries.values()):
+            while (
+                self._running
+                and handle.instance_id in self.libraries
+                and handle.conn is not None
+                and handle.conn.pending_bytes
+            ):
+                self._handle_library_message(handle)
 
     def _send_status(self) -> None:
         """Periodic resource-accounting report (§2.1.3): cache occupancy,
@@ -230,6 +276,9 @@ class Worker:
                 running.proc.terminate()
         self.transfer_server.stop()
         self.manager.close()
+        if self._socket_fallback is not None:
+            shutil.rmtree(self._socket_fallback, ignore_errors=True)
+            self._socket_fallback = None
 
     # -- manager messages ------------------------------------------------------
     def _handle_manager_message(self) -> None:
@@ -319,7 +368,11 @@ class Worker:
             if env_dir:
                 cmd.append(env_dir)
             proc = subprocess.Popen(
-                cmd, stdout=subprocess.DEVNULL, stderr=subprocess.PIPE, cwd=sandbox.path
+                cmd,
+                stdout=subprocess.DEVNULL,
+                stderr=subprocess.PIPE,
+                cwd=sandbox.path,
+                env=_child_env(),
             )
         except Exception as exc:
             sandbox.destroy()
@@ -350,7 +403,7 @@ class Worker:
                 except OSError:
                     shutil.copyfile(self.cache.path_of(item["hash"]), dest)
             spec_path = os.path.join(sandbox_dir, message["spec_name"])
-            socket_path = f"/tmp/repro-{os.getpid()}-{instance_id}.sock"
+            socket_path = self._library_socket_path(instance_id)
             if os.path.exists(socket_path):
                 os.unlink(socket_path)
             listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
@@ -371,7 +424,10 @@ class Worker:
             if env_dir:
                 cmd.extend(["--env-dir", env_dir])
             proc = subprocess.Popen(
-                cmd, stdout=subprocess.DEVNULL, stderr=subprocess.PIPE
+                cmd,
+                stdout=subprocess.DEVNULL,
+                stderr=subprocess.PIPE,
+                env=_child_env(),
             )
         except Exception as exc:
             shutil.rmtree(sandbox_dir, ignore_errors=True)
@@ -396,6 +452,16 @@ class Worker:
         )
         self.libraries[instance_id] = handle
         self.selector.register(listener, selectors.EVENT_READ, ("lib-listener", handle))
+
+    def _library_socket_path(self, instance_id: int) -> str:
+        path = os.path.join(self.socket_root, f"lib-{instance_id}.sock")
+        if len(path.encode()) <= 100:
+            return path
+        if self._socket_fallback is None:
+            import tempfile
+
+            self._socket_fallback = tempfile.mkdtemp(prefix="repro-sock-")
+        return os.path.join(self._socket_fallback, f"lib-{instance_id}.sock")
 
     def _accept_library(self, handle: _LibraryHandle) -> None:
         try:
@@ -441,6 +507,20 @@ class Worker:
             handle.conn.send(invoke[0])
         else:
             handle.pending.append(invoke)
+
+    def _on_invocation_batch(self, message: dict, payload: bytes) -> None:
+        """Fan a coalesced dispatch round back out to library instances.
+
+        The payload is the concatenation of each invocation's argument
+        blob, length-prefixed (4-byte big-endian), in header order.
+        """
+        view = memoryview(payload)
+        offset = 0
+        for header in message.get("invocations", []):
+            length = int.from_bytes(view[offset:offset + 4], "big")
+            offset += 4
+            self._on_invocation(header, bytes(view[offset:offset + length]))
+            offset += length
 
     def _on_cancel(self, message: dict, payload: bytes) -> None:
         """Kill a running task subprocess at the manager's request."""

@@ -1,0 +1,190 @@
+"""Dispatch hot-path tests: free-slot index integrity, invocation
+batching, and scan-work flatness while a queue is blocked.
+
+The free-slot index (`Placement._free_slots`) must stay *exactly* equal
+to a brute-force scan of placement state under any event sequence —
+deploy, ready, invoke, finish, evict, worker join/loss — because the
+manager now trusts it blindly instead of re-walking workers.
+"""
+
+import time
+from typing import Dict, Set
+
+from hypothesis import given, settings, strategies as st
+
+from repro.engine import FunctionCall, LocalWorkerFactory, Manager
+from repro.engine.resources import Resources
+from repro.engine.scheduling import Placement
+from repro.engine.task import TaskState
+
+
+def lib_double(x):
+    return 2 * x
+
+
+def other_fn(x):
+    return ("other", x)
+
+
+# ------------------------------------------------------ index property test
+def brute_force_free(p: Placement) -> Dict[str, Set[int]]:
+    """What the free-slot index *should* contain, by exhaustive scan."""
+    out: Dict[str, Set[int]] = {}
+    for slot in p.workers.values():
+        for inst in slot.libraries.values():
+            if inst.free_slots > 0:
+                out.setdefault(inst.library_name, set()).add(inst.instance_id)
+    return out
+
+
+_OPS = st.sampled_from(
+    ["add_worker", "lose_worker", "deploy", "ready", "invoke", "finish", "evict"]
+)
+
+
+@settings(deadline=None, max_examples=80)
+@given(ops=st.lists(st.tuples(_OPS, st.integers(0, 7)), max_size=80))
+def test_free_slot_index_matches_brute_force(ops):
+    p = Placement()
+    libs = ["libA", "libB", "libC"]
+    worker_seq = 0
+    workers = []
+    instances = {}  # iid -> LibraryInstance currently deployed
+    inflight = []  # instances with a started invocation (one entry per start)
+    for op, arg in ops:
+        if op == "add_worker":
+            name = f"w{worker_seq}"
+            worker_seq += 1
+            p.add_worker(name, Resources(cores=2, memory=0, disk=0))
+            workers.append(name)
+        elif op == "lose_worker" and workers:
+            name = workers.pop(arg % len(workers))
+            p.remove_worker(name)
+            instances = {
+                iid: inst for iid, inst in instances.items() if inst.worker != name
+            }
+            inflight = [inst for inst in inflight if inst.worker != name]
+        elif op == "deploy":
+            lib = libs[arg % len(libs)]
+            placed = p.place_library(lib, slots=2, resources=Resources(1, 0, 0))
+            if placed is not None:
+                worker, iid = placed
+                instances[iid] = p.workers[worker].libraries[iid]
+        elif op == "ready":
+            warming = [inst for inst in instances.values() if not inst.ready]
+            if warming:
+                inst = warming[arg % len(warming)]
+                p.library_ready(inst.worker, inst.instance_id)
+        elif op == "invoke":
+            inst = p.find_invocation_slot(libs[arg % len(libs)])
+            if inst is not None:
+                p.start_invocation(inst)
+                inflight.append(inst)
+        elif op == "finish" and inflight:
+            p.finish_invocation(inflight.pop(arg % len(inflight)))
+        elif op == "evict":
+            victim = p.find_evictable_library(libs[arg % len(libs)])
+            if victim is not None:
+                p.remove_library(victim.worker, victim.instance_id)
+                instances.pop(victim.instance_id, None)
+        # The invariant: index == brute force, after every single event.
+        expected = brute_force_free(p)
+        assert p.free_index_snapshot() == expected
+        for lib in libs:
+            found = p.find_invocation_slot(lib)
+            assert (found is not None) == bool(expected.get(lib))
+            if found is not None:
+                assert found.instance_id in expected[lib]
+
+
+# ------------------------------------------------- invocation_batch round-trip
+def test_invocation_batch_roundtrip(tmp_path):
+    """A burst dispatched as invocation_batch frames produces exactly the
+    results, overhead timelines, and stats a sequence of single
+    invocations does."""
+    with Manager() as manager:
+        library = manager.create_library_from_functions(
+            "batched", lib_double, function_slots=8
+        )
+        manager.install_library(library)
+        with LocalWorkerFactory(manager, count=1, cores=2, workdir=str(tmp_path)):
+            # Singles: submit-and-wait one at a time — never two invocations
+            # in one dispatch round, so no batch frames.
+            singles = []
+            for i in range(4):
+                call = FunctionCall("batched", "lib_double", i)
+                manager.submit(call)
+                manager.wait_all([call], timeout=60)
+                singles.append(call)
+            assert manager.stats.get("batched_invocations", 0) == 0
+            # Library sockets live under the worker's own workdir now.
+            assert (tmp_path / "worker-0" / "sockets").is_dir()
+
+            # Burst: queued together, coalesced per worker into one frame.
+            burst = [FunctionCall("batched", "lib_double", i) for i in range(16)]
+            for call in burst:
+                manager.submit(call)
+            manager.wait_all(burst, timeout=120)
+            assert manager.stats["batched_invocations"] > 0
+
+    for call in singles + burst:
+        assert call.state is TaskState.DONE
+    assert [c.result for c in burst] == [2 * i for i in range(16)]
+    # Identical overhead accounting on both paths.
+    single_keys = set(singles[0].overheads)
+    for call in burst:
+        assert set(call.overheads) == single_keys
+        assert any(k.startswith("overhead.") for k in call.timeline)
+
+
+# ---------------------------------------------------- cancel does not stall
+def test_cancel_queued_then_wait_all_dispatches_rest(tmp_path):
+    """A cancelled-but-unwaited task must not wedge wait_all: wait()
+    serves _completed before advancing the engine, so wait_all cycling
+    the foreign task back used to spin without ever dispatching."""
+    with Manager() as manager:
+        manager.install_library(
+            manager.create_library_from_functions("c", lib_double, function_slots=2)
+        )
+        with LocalWorkerFactory(manager, count=1, cores=2, workdir=str(tmp_path)):
+            warm = FunctionCall("c", "lib_double", 0)
+            manager.submit(warm)
+            manager.wait_all([warm], timeout=60)
+            cancelled = FunctionCall("c", "lib_double", 1)
+            kept = FunctionCall("c", "lib_double", 2)
+            manager.submit(cancelled)
+            manager.submit(kept)
+            assert manager.cancel(cancelled)
+            manager.wait_all([kept], timeout=60)
+            assert kept.result == 4
+            assert cancelled.state is TaskState.FAILED
+            # The cancelled task is still delivered through wait().
+            drained = manager.wait(timeout=5)
+            assert drained is cancelled
+
+
+# ------------------------------------------- scan work is flat while blocked
+def test_queue_scan_flat_while_blocked():
+    """A blocked library queue costs zero dispatch work per tick: the
+    queue_scan_len counter must not grow while nothing can be placed."""
+    with Manager(enable_library_eviction=False) as manager:
+        for name, fn in (("occupant", lib_double), ("starved", other_fn)):
+            manager.install_library(manager.create_library_from_functions(name, fn))
+        with LocalWorkerFactory(manager, count=1, cores=1):
+            first = FunctionCall("occupant", "lib_double", 1)
+            manager.submit(first)
+            manager.wait_all([first], timeout=60)
+            # The idle occupant library owns the only core; with eviction
+            # off, nothing can ever place these.
+            blocked = [FunctionCall("starved", "other_fn", i) for i in range(50)]
+            for call in blocked:
+                manager.submit(call)
+            deadline = time.monotonic() + 1.0
+            while time.monotonic() < deadline:
+                manager.wait(timeout=0.05)
+            scans_after_block = manager.stats["queue_scan_len"]
+            deadline = time.monotonic() + 2.0
+            while time.monotonic() < deadline:
+                manager.wait(timeout=0.05)
+            assert manager.stats["queue_scan_len"] == scans_after_block
+            assert all(c.state is TaskState.SUBMITTED for c in blocked)
