@@ -1,0 +1,30 @@
+"""Chaos smoke benchmark: the workload finishes while workers die.
+
+Not a paper table: this guards the failure semantics the stateful-worker
+design needs (DESIGN.md "Failure semantics").  Mid-run, the fault
+harness SIGKILLs one worker and SIGSTOPs another; the run must still
+complete every invocation exactly once, detect both losses (socket error
+and liveness deadline respectively), and keep the total requeue count
+inside the ``max_retries * n`` budget.
+
+Run at a larger scale with ``REPRO_BENCH_FULL=1``.
+"""
+
+from repro.bench import chaos_smoke
+
+
+def test_chaos_smoke(benchmark, show):
+    result = benchmark.pedantic(chaos_smoke, rounds=1, iterations=1)
+    show(result)
+    v = result.values
+    # Every invocation completed exactly once, despite the carnage.
+    assert v["completed"] == v["n"]
+    assert v["failed"] == 0
+    assert v["retry_exhausted"] == 0
+    # Both faults fire only once their victim holds dispatched work, so
+    # both losses must be detected: the SIGKILL via its broken socket,
+    # the SIGSTOP via the liveness deadline.
+    assert v["workers_lost"] == 2
+    assert v["liveness_expirations"] >= 1
+    # Bounded recovery: requeues stay inside the global retry budget.
+    assert 1 <= v["requeued"] <= v["requeue_budget"]

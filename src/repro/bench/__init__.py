@@ -12,6 +12,7 @@ from repro.bench.experiments import (
     ablation_library_slots,
     ablation_sim_distribution,
     ablation_transfer_modes,
+    chaos_smoke,
     dispatch_throughput,
     fig6_execution_times,
     fig7_histograms,
@@ -27,6 +28,7 @@ from repro.bench.experiments import (
 __all__ = [
     "TableResult",
     "format_table",
+    "chaos_smoke",
     "dispatch_throughput",
     "table2_overhead",
     "table4_runtime_stats",

@@ -22,6 +22,7 @@ from repro.bench import experiments
 
 EXPERIMENTS: Dict[str, Callable[..., object]] = {
     "dispatch": lambda n: experiments.dispatch_throughput(),
+    "chaos": lambda n: experiments.chaos_smoke(),
     "table2": lambda n: experiments.table2_overhead(),
     "fig6": lambda n: experiments.fig6_execution_times(lnni_invocations=n),
     "fig7": lambda n: experiments.fig7_histograms(n),

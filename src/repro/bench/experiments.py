@@ -18,7 +18,7 @@ from repro.distribute.broadcast import broadcast_makespan
 from repro.distribute.topology import TransferMode, uniform_topology
 from repro.engine.factory import LocalWorkerFactory
 from repro.engine.manager import Manager
-from repro.engine.task import FunctionCall, PythonTask
+from repro.engine.task import FunctionCall, PythonTask, TaskState
 from repro.sim.calibration import ReuseLevel, examol_cost_model, lnni_cost_model
 from repro.sim.runner import run_examol, run_lnni
 from repro.sim.trace import RunResult
@@ -212,6 +212,116 @@ def dispatch_throughput(
         paper_reference=(
             "Table 2 / §5: ~2.5 ms serial manager cost per invocation is the "
             "lever that turns 7485 s into 414 s at 100k invocations"
+        ),
+    )
+
+
+# ----------------------------------------------------------- chaos smoke
+def _chaos_fn(x):
+    import time as _time
+
+    _time.sleep(0.2)
+    return x + 1
+
+
+def chaos_smoke(
+    n_invocations: int | None = None,
+    workers: int = 4,
+) -> TableResult:
+    """Fault-tolerance smoke: finish a workload while workers die under it.
+
+    One worker is SIGKILLed and another SIGSTOP'd mid-run (the harness in
+    :mod:`repro.engine.faults`); each fault fires only once its victim
+    holds dispatched work, so the run cannot finish without crossing the
+    recovery paths.  The run passes when every invocation still completes
+    exactly once, both losses are detected (socket error for the kill,
+    liveness deadline for the stall), and the total requeue count stays
+    inside the ``max_retries * n`` budget.
+    """
+    from repro.engine.faults import FaultInjector
+
+    def wait_for_dispatch(calls, worker_name, timeout=60.0):
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if any(
+                c.worker == worker_name and c.state is TaskState.DISPATCHED
+                for c in calls
+            ):
+                return
+            manager.wait(timeout=0.05)
+
+    n = n_invocations or (200 if _FULL else 60)
+    with Manager(
+        liveness_deadline=2.0, max_retries=5, retry_backoff=0.1
+    ) as manager:
+        library = manager.create_library_from_functions(
+            "chaos-bench", _chaos_fn, function_slots=2
+        )
+        manager.install_library(library)
+        factory = LocalWorkerFactory(
+            manager,
+            count=workers,
+            cores=2,
+            name_prefix="chaos",
+            status_interval=0.25,
+        )
+        factory.start()
+        injector = FaultInjector(manager, factory)
+        started = time.monotonic()
+        faults: List[str] = []
+        try:
+            calls = [FunctionCall("chaos-bench", "_chaos_fn", i) for i in range(n)]
+            for call in calls:
+                manager.submit(call)
+            wait_for_dispatch(calls, "chaos-0")
+            injector.kill_worker(0)
+            faults.append(f"{time.monotonic() - started:.2f}s kill chaos-0")
+            wait_for_dispatch(calls, "chaos-1")
+            injector.stall_worker(1)
+            faults.append(f"{time.monotonic() - started:.2f}s stall chaos-1")
+            injector.drive(calls, timeout=240.0)
+            total = time.monotonic() - started
+            completed = sum(1 for c in calls if c.successful)
+        finally:
+            injector.resume_worker(1)
+            factory.stop()
+        stats = manager.stats
+    values: Dict[str, float] = {
+        "n": float(n),
+        "workers": float(workers),
+        "total_s": total,
+        "completed": float(completed),
+        "workers_lost": stats.get("workers_lost", 0.0),
+        "liveness_expirations": stats.get("liveness_expirations", 0.0),
+        "requeued": stats.get("requeued", 0.0),
+        "requeue_budget": float(manager.max_retries * n),
+        "retry_exhausted": stats.get("retry_exhausted", 0.0),
+        "failed": stats.get("failed", 0.0),
+    }
+    text = format_table(
+        ["Metric", "Value"],
+        [
+            ["Invocations", str(n)],
+            ["Workers (start)", str(workers)],
+            ["Faults fired", "; ".join(faults) or "none"],
+            ["Total time (s)", f"{total:.3f}"],
+            ["Completed", f"{completed:.0f}"],
+            ["Workers lost", f"{values['workers_lost']:.0f}"],
+            ["Liveness expirations", f"{values['liveness_expirations']:.0f}"],
+            [
+                "Requeued",
+                f"{values['requeued']:.0f} (budget {values['requeue_budget']:.0f})",
+            ],
+            ["Retry-exhausted", f"{values['retry_exhausted']:.0f}"],
+        ],
+    )
+    return TableResult(
+        experiment="chaos_smoke",
+        text=text,
+        values=values,
+        paper_reference=(
+            "not a paper table: failure-path guard for the stateful-worker "
+            "design (lost workers destroy retained contexts, §3.4-3.6)"
         ),
     )
 

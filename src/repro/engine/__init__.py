@@ -28,6 +28,7 @@ from repro.engine.resources import Resources
 from repro.engine.task import FunctionCall, LibraryTask, PythonTask, Task, TaskState
 from repro.engine.manager import Manager
 from repro.engine.factory import LocalWorkerFactory
+from repro.engine.faults import FaultInjector
 
 __all__ = [
     "Manager",
@@ -39,4 +40,5 @@ __all__ = [
     "LibraryTask",
     "FunctionCall",
     "LocalWorkerFactory",
+    "FaultInjector",
 ]

@@ -45,6 +45,11 @@ class WorkerCache:
         os.makedirs(root, exist_ok=True)
         self.capacity = capacity
         self._entries: "OrderedDict[str, CacheEntry]" = OrderedDict()
+        # Running aggregates, kept exact on every insert/remove/evict and
+        # pin transition: used_bytes() and the "everything is pinned"
+        # check are O(1) instead of O(entries) per eviction-loop pass.
+        self._used_bytes = 0
+        self._pinned_entries = 0
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -58,7 +63,7 @@ class WorkerCache:
         return digest in self._entries
 
     def used_bytes(self) -> int:
-        return sum(e.size for e in self._entries.values())
+        return self._used_bytes
 
     def path_of(self, digest: str) -> str:
         """Path of a cached file; records an access (LRU touch)."""
@@ -87,13 +92,12 @@ class WorkerCache:
             raise CacheError(
                 f"object of {incoming} bytes exceeds cache capacity {self.capacity}"
             )
-        while self.used_bytes() + incoming > self.capacity:
-            victim = next(
-                (d for d, e in self._entries.items() if e.pins == 0), None
-            )
-            if victim is None:
+        while self._used_bytes + incoming > self.capacity:
+            if self._pinned_entries == len(self._entries):
                 raise CacheError("cache full and every entry is pinned")
+            victim = next(d for d, e in self._entries.items() if e.pins == 0)
             entry = self._entries.pop(victim)
+            self._used_bytes -= entry.size
             try:
                 if os.path.isdir(entry.path):
                     shutil.rmtree(entry.path, ignore_errors=True)
@@ -116,6 +120,7 @@ class WorkerCache:
             fh.write(data)
         os.replace(tmp, path)
         self._entries[digest] = CacheEntry(digest, len(data), path)
+        self._used_bytes += len(data)
         return path
 
     def insert_path(self, digest: str, source: str, *, verify: bool = True) -> str:
@@ -129,6 +134,7 @@ class WorkerCache:
         path = os.path.join(self.root, digest)
         os.replace(source, path)
         self._entries[digest] = CacheEntry(digest, size, path)
+        self._used_bytes += size
         return path
 
     def register_dir(self, digest: str, path: str, size: int) -> None:
@@ -142,11 +148,14 @@ class WorkerCache:
             return
         self._evict_for(size)
         self._entries[digest] = CacheEntry(digest, size, path)
+        self._used_bytes += size
 
     def pin(self, digest: str) -> None:
         entry = self._entries.get(digest)
         if entry is None:
             raise CacheError(f"cannot pin missing entry {short_hash(digest)}")
+        if entry.pins == 0:
+            self._pinned_entries += 1
         entry.pins += 1
 
     def unpin(self, digest: str) -> None:
@@ -156,6 +165,8 @@ class WorkerCache:
         if entry.pins <= 0:
             raise CacheError(f"entry {short_hash(digest)} is not pinned")
         entry.pins -= 1
+        if entry.pins == 0:
+            self._pinned_entries -= 1
 
     def remove(self, digest: str) -> None:
         """Explicit removal (manager-directed unlink)."""
@@ -165,6 +176,7 @@ class WorkerCache:
         if entry.pins > 0:
             raise CacheError(f"entry {short_hash(digest)} is pinned; cannot remove")
         del self._entries[digest]
+        self._used_bytes -= entry.size
         try:
             if os.path.isdir(entry.path):
                 shutil.rmtree(entry.path, ignore_errors=True)
@@ -176,7 +188,8 @@ class WorkerCache:
     def stats(self) -> Dict[str, int]:
         return {
             "entries": len(self._entries),
-            "bytes": self.used_bytes(),
+            "bytes": self._used_bytes,
+            "pinned": self._pinned_entries,
             "hits": self.hits,
             "misses": self.misses,
             "evictions": self.evictions,

@@ -40,6 +40,7 @@ class LocalWorkerFactory:
         cache_capacity: Optional[int] = None,
         connect_timeout: float = 30.0,
         name_prefix: str = "worker",
+        status_interval: float = 2.0,
     ):
         if count < 1:
             raise WorkerError("factory needs at least one worker")
@@ -49,6 +50,7 @@ class LocalWorkerFactory:
         self.memory = memory
         self.disk = disk
         self.cache_capacity = cache_capacity
+        self.status_interval = status_interval
         self.connect_timeout = connect_timeout
         self.name_prefix = name_prefix
         self._owns_workdir = workdir is None
@@ -79,6 +81,8 @@ class LocalWorkerFactory:
             ]
             if self.cache_capacity is not None:
                 cmd.extend(["--cache-capacity", str(self.cache_capacity)])
+            if self.status_interval != 2.0:
+                cmd.extend(["--status-interval", str(self.status_interval)])
             self.procs.append(
                 subprocess.Popen(cmd, stdout=subprocess.DEVNULL, stderr=subprocess.PIPE)
             )

@@ -86,6 +86,12 @@ class LibraryServer:
         self.namespace: Dict[str, Any] = {}
         self.functions: Dict[str, Any] = {}
         self.children: Dict[int, int] = {}  # pid -> invocation task id
+        # Fork-mode wall-clock timeouts: pid -> monotonic deadline.  An
+        # overdue child is SIGKILLed and reported as a timeout — the
+        # library itself survives, unlike direct mode where the worker
+        # must kill the whole instance.
+        self.child_deadlines: Dict[int, float] = {}
+        self.timed_out: Dict[int, float] = {}  # pid -> requested timeout
         self.setup_time = 0.0
 
     # -- context construction ---------------------------------------------
@@ -173,6 +179,7 @@ class LibraryServer:
                 }
             )
             return
+        timeout = message.get("timeout")
         if mode == "fork":
             pid = os.fork()
             if pid == 0:
@@ -186,6 +193,8 @@ class LibraryServer:
                     code = 1
                 os._exit(code)
             self.children[pid] = task_id
+            if timeout:
+                self.child_deadlines[pid] = time.monotonic() + float(timeout)
             return
         outcome = _serve_invocation_in(sandbox, fn, self.namespace)
         conn.send(
@@ -197,8 +206,35 @@ class LibraryServer:
             }
         )
 
+    def _kill_overdue_children(self) -> None:
+        if not self.child_deadlines:
+            return
+        now = time.monotonic()
+        for pid, deadline in list(self.child_deadlines.items()):
+            if now > deadline:
+                del self.child_deadlines[pid]
+                self.timed_out[pid] = deadline
+                try:
+                    os.kill(pid, signal.SIGKILL)
+                except ProcessLookupError:
+                    pass
+
+    def _complete_frame(self, pid: int, task_id: int, ok: bool) -> Dict[str, Any]:
+        frame: Dict[str, Any] = {
+            "type": "complete", "task_id": task_id, "ok": ok, "times": {},
+        }
+        if pid in self.timed_out:
+            del self.timed_out[pid]
+            frame["ok"] = False
+            frame["kind"] = "timeout"
+            frame["error"] = (
+                "fork-mode invocation exceeded its wall-clock timeout"
+            )
+        return frame
+
     def _reap_children(self, conn) -> None:
         """Collect finished fork-mode invocations (the SIGCHLD path)."""
+        self._kill_overdue_children()
         while self.children:
             try:
                 pid, status = os.waitpid(-1, os.WNOHANG)
@@ -208,10 +244,11 @@ class LibraryServer:
             if pid == 0:
                 return
             task_id = self.children.pop(pid, None)
+            self.child_deadlines.pop(pid, None)
             if task_id is None:
                 continue
             ok = os.waitstatus_to_exitcode(status) == 0
-            conn.send({"type": "complete", "task_id": task_id, "ok": ok, "times": {}})
+            conn.send(self._complete_frame(pid, task_id, ok))
 
     def _drain_children(self, conn) -> None:
         while self.children:
@@ -221,9 +258,10 @@ class LibraryServer:
                 self.children.clear()
                 return
             task_id = self.children.pop(pid, None)
+            self.child_deadlines.pop(pid, None)
             if task_id is not None:
                 ok = os.waitstatus_to_exitcode(status) == 0
-                conn.send({"type": "complete", "task_id": task_id, "ok": ok, "times": {}})
+                conn.send(self._complete_frame(pid, task_id, ok))
 
 
 def main(argv: list[str] | None = None) -> int:

@@ -25,6 +25,18 @@ while a queue is blocked).  Consecutive invocations bound for the same
 worker in one round are coalesced into a single ``invocation_batch``
 frame, and all control frames of a round share one buffered socket
 flush per worker.
+
+Failure semantics (see DESIGN.md "Failure semantics"):
+
+* workers heartbeat via their periodic ``status`` reports; one silent
+  past ``liveness_deadline`` is declared lost even with a healthy
+  socket (a SIGSTOP'd worker produces no socket error);
+* a task requeued after a worker loss carries a retry budget
+  (``max_retries``), an exponential backoff gate, and a blame set of
+  workers it was lost on (never redispatched there); exhaustion fails
+  it with :class:`~repro.errors.TaskRetryExhausted`;
+* per-task wall-clock timeouts are enforced worker-side and surface as
+  :class:`~repro.errors.TaskTimeout` plus ``stats["timeouts"]``.
 """
 
 from __future__ import annotations
@@ -60,6 +72,7 @@ from repro.errors import (
     LibraryError,
     ProtocolError,
     TaskFailure,
+    TaskRetryExhausted,
     WorkerError,
 )
 from repro.serialize.core import deserialize, serialize
@@ -76,6 +89,7 @@ class _WorkerLink:
     cached: Set[str] = field(default_factory=set)       # confirmed holdings
     assumed: Set[str] = field(default_factory=set)      # sent, not yet confirmed
     status: Dict[str, Any] = field(default_factory=dict)  # last status report
+    last_seen: float = 0.0  # monotonic stamp of the last received frame
 
 
 @dataclass
@@ -100,6 +114,22 @@ class Manager:
         How context files reach workers: ``MANAGER_ONLY`` sends every
         copy from the manager; ``PEER`` redirects workers that already
         hold a file to serve their peers.
+    liveness_deadline:
+        Seconds of silence after which a connected worker is declared
+        lost even though its socket is still open (a SIGSTOP'd or hung
+        worker produces no socket error).  Workers heartbeat via their
+        periodic ``status`` reports, so this must comfortably exceed the
+        worker status interval (2 s by default).  ``None`` disables
+        deadline-based loss detection.
+    max_retries:
+        How many times a task may be requeued after losing its worker
+        before it is failed with
+        :class:`~repro.errors.TaskRetryExhausted` — i.e. a task executes
+        at most ``max_retries + 1`` times.
+    retry_backoff / retry_backoff_max:
+        Base and cap of the exponential redispatch backoff applied to a
+        requeued task (``retry_backoff * 2**(retries-1)`` seconds,
+        capped at ``retry_backoff_max``).
     """
 
     def __init__(
@@ -110,10 +140,27 @@ class Manager:
         transfer_mode: TransferMode = TransferMode.PEER,
         name: str = "manager",
         enable_library_eviction: bool = True,
+        liveness_deadline: float | None = 30.0,
+        max_retries: int = 3,
+        retry_backoff: float = 0.25,
+        retry_backoff_max: float = 5.0,
     ):
         self.name = name
         self.transfer_mode = transfer_mode
         self.enable_library_eviction = enable_library_eviction
+        if liveness_deadline is not None and liveness_deadline <= 0:
+            raise EngineError("liveness_deadline must be positive or None")
+        if max_retries < 0:
+            raise EngineError("max_retries must be >= 0")
+        self.liveness_deadline = liveness_deadline
+        self.max_retries = max_retries
+        self.retry_backoff = max(0.0, retry_backoff)
+        self.retry_backoff_max = max(0.0, retry_backoff_max)
+        self._next_liveness_check = 0.0
+        # Earliest not_before among deferred (backed-off) tasks; 0.0 when
+        # nothing is waiting.  Checked each _advance tick so a queue that
+        # only holds backed-off tasks is re-marked dirty when due.
+        self._backoff_wakeup = 0.0
         if workdir is None:
             workdir = tempfile.mkdtemp(prefix="repro-manager-")
         self.workdir = workdir
@@ -325,6 +372,23 @@ class Manager:
         # the engine, so a put-back would be re-returned immediately and
         # this loop would spin without ever dispatching.
         others: List[Task] = []
+        # A task consumed by an earlier wait() call (or another wait_all)
+        # never comes out of _completed again; finish it by state up front
+        # so it can't wedge the loop.  Inside the loop every completion
+        # flows through wait(), so one entry sweep suffices.
+        done_ids = {
+            tid
+            for tid, t in pending.items()
+            if t.state in (TaskState.DONE, TaskState.FAILED)
+        }
+        for tid in done_ids:
+            finished.append(pending.pop(tid))
+        if done_ids:
+            # Drop their queued completions (if any) so a later wait()
+            # doesn't deliver the same task twice.
+            self._completed = collections.deque(
+                t for t in self._completed if t.id not in done_ids
+            )
         try:
             while pending:
                 if time.monotonic() > deadline:
@@ -436,6 +500,35 @@ class Manager:
                 self._accept_worker()
             elif kind == "worker":
                 self._handle_worker_message(ref)
+        now = time.monotonic()
+        if self._backoff_wakeup and now >= self._backoff_wakeup:
+            self._backoff_wakeup = 0.0
+            self._wake_all()  # backed-off tasks are redispatchable again
+        # Liveness runs AFTER the event drain: a healthy worker always has
+        # heartbeats queued on its socket, so even if the manager itself
+        # stalled past the deadline, processing those first refreshes
+        # last_seen and only truly silent workers expire.
+        self._check_liveness(now)
+
+    def _check_liveness(self, now: float) -> None:
+        deadline = self.liveness_deadline
+        if deadline is None or now < self._next_liveness_check:
+            return
+        self._next_liveness_check = now + min(1.0, deadline / 4.0)
+        expired = [
+            link
+            for link in self._workers.values()
+            if now - link.last_seen > deadline
+        ]
+        for link in expired:
+            self.log.warning(
+                "worker %s silent for %.1fs (deadline %.1fs); declaring it lost",
+                link.name,
+                now - link.last_seen,
+                deadline,
+            )
+            self.stats["liveness_expirations"] += 1
+            self._worker_lost(link)
 
     def _accept_worker(self) -> None:
         try:
@@ -459,6 +552,7 @@ class Manager:
                 resources=resources,
                 transfer_host=str(hello.get("transfer_host", "")),
                 transfer_port=int(hello.get("transfer_port", 0)),
+                last_seen=time.monotonic(),
             )
             conn.name = name
             conn.send({"type": "welcome", "manager": self.name})
@@ -495,14 +589,24 @@ class Manager:
         finally:
             self._flush_round()
 
+    def _note_backoff(self, not_before: float) -> None:
+        """Remember the earliest pending backoff expiry for _advance."""
+        if not self._backoff_wakeup or not_before < self._backoff_wakeup:
+            self._backoff_wakeup = not_before
+
     def _dispatch_task_queue(self) -> None:
         """Try every queued PythonTask (they have heterogeneous resource
         asks, so a later task may fit where an earlier one did not)."""
+        now = time.monotonic()
         requeue: List[PythonTask] = []
         while self._ready_tasks:
             task = self._ready_tasks.popleft()
             if task.state is not TaskState.SUBMITTED:
                 continue  # cancelled tombstone
+            if task.not_before > now:
+                self._note_backoff(task.not_before)
+                requeue.append(task)  # still backing off after a requeue
+                continue
             self.stats["queue_scan_len"] += 1
             if not self._dispatch_python_task(task):
                 requeue.append(task)
@@ -520,14 +624,22 @@ class Manager:
         library = self._libraries.get(library_name)
         if not queue or library is None:
             return
+        now = time.monotonic()
         warming_slots = 0
+        deferred: List[FunctionCall] = []  # backing off; restored at the end
         while queue:
             head = queue[0]
             if head.state is not TaskState.SUBMITTED:
                 queue.popleft()  # cancelled tombstone
                 continue
+            if head.not_before > now:
+                self._note_backoff(head.not_before)
+                deferred.append(queue.popleft())
+                continue
             self.stats["queue_scan_len"] += 1
-            inst = self.placement.find_invocation_slot(library_name)
+            inst = self.placement.find_invocation_slot(
+                library_name, exclude=head.workers_lost_on or None
+            )
             if inst is not None:
                 queue.popleft()
                 self._dispatch_invocation(head, inst)
@@ -540,6 +652,16 @@ class Manager:
             if self._evict_empty_library(library_name):
                 break  # resources free when the removal ack arrives
             break  # saturated; a capacity event will wake us
+        if deferred:
+            self._restore_deferred(queue, deferred)
+
+    @staticmethod
+    def _restore_deferred(
+        queue: Deque[FunctionCall], deferred: List[FunctionCall]
+    ) -> None:
+        """Put backed-off tasks back at the queue head, original order."""
+        for task in reversed(deferred):
+            queue.appendleft(task)
 
     def _flush_round(self) -> None:
         """Coalesce this round's invocations into per-worker batch frames
@@ -626,7 +748,9 @@ class Manager:
         self.stats["transfer_seconds"] += time.monotonic() - started
 
     def _dispatch_python_task(self, task: PythonTask) -> bool:
-        worker = self.placement.place_task(str(task.id), task.resources)
+        worker = self.placement.place_task(
+            str(task.id), task.resources, exclude=task.workers_lost_on or None
+        )
         if worker is None:
             # Reclaim an idle library's resources (empty-library eviction
             # applies to task scheduling too) and retry on a later round.
@@ -651,17 +775,17 @@ class Manager:
                 "kwargs": task.kwargs,
             }
         )
-        link.conn.send_buffered(
-            {
-                "type": "task",
-                "task_id": task.id,
-                "inputs": [
-                    {"hash": f.hash, "name": f.remote_name} for f in task.inputs
-                ],
-                "env_hash": task.environment.hash if task.environment else None,
-            },
-            payload,
-        )
+        header = {
+            "type": "task",
+            "task_id": task.id,
+            "inputs": [
+                {"hash": f.hash, "name": f.remote_name} for f in task.inputs
+            ],
+            "env_hash": task.environment.hash if task.environment else None,
+        }
+        if task.timeout is not None:
+            header["timeout"] = task.timeout
+        link.conn.send_buffered(header, payload)
         task.state = TaskState.DISPATCHED
         task.worker = worker
         task.mark("dispatched", time.monotonic())
@@ -689,6 +813,8 @@ class Manager:
             "mode": mode,
             "inputs": [{"hash": f.hash, "name": f.remote_name} for f in task.inputs],
         }
+        if task.timeout is not None:
+            header["timeout"] = task.timeout
         self._outbox.setdefault(inst.worker, []).append((header, payload))
         self.placement.start_invocation(inst)
         task.state = TaskState.DISPATCHED
@@ -768,6 +894,7 @@ class Manager:
         except Exception:
             self._worker_lost(link)
             return
+        link.last_seen = time.monotonic()
         mtype = message.get("type")
         if mtype == "status":
             link.status = message.get("report", {})
@@ -809,16 +936,24 @@ class Manager:
         if record is None:
             return
         inst = record.instance
-        # Fail invocations currently bound to this instance.
+        timeout_kill = message.get("kind") == "timeout"
+        # Fail invocations currently bound to this instance.  On a
+        # timeout kill the victim and its siblings were already resolved
+        # by their own task_failed frames (sent before this one), so any
+        # invocation still bound here was dispatched into the window
+        # between the kill and this frame — requeue it, don't fail it.
         for task_id, iid in list(self._invocation_instance.items()):
             if iid != instance_id:
                 continue
             task = self._running.pop(task_id, None)
             self._invocation_instance.pop(task_id, None)
             if task is not None:
-                task.set_exception(failure_from_message(message))
-                task.mark("completed", time.monotonic())
-                self._completed.append(task)
+                if timeout_kill:
+                    self._requeue_task(task, blame=None)
+                else:
+                    task.set_exception(failure_from_message(message))
+                    task.mark("completed", time.monotonic())
+                    self._completed.append(task)
             inst.used_slots = max(0, inst.used_slots - 1)
         try:
             self.placement.remove_library(inst.worker, instance_id)
@@ -826,8 +961,12 @@ class Manager:
             pass
         # Mark the library broken so queued invocations fail fast instead
         # of redeploying forever: one drain of its pending deque, no
-        # per-task deque removals.
-        queue = self._pending_invocations.get(record.library.name)
+        # per-task deque removals.  A timeout kill is not a broken
+        # library — one invocation overran and its instance was shot —
+        # so queued invocations stay queued and redeploy normally.
+        queue = None if timeout_kill else self._pending_invocations.get(
+            record.library.name
+        )
         if queue:
             for t in queue:
                 if t.state is not TaskState.SUBMITTED:
@@ -901,6 +1040,16 @@ class Manager:
         if task is None:
             return
         self._finish_bookkeeping(task)
+        kind = message.get("kind")
+        if kind == "requeue":
+            # Worker-initiated requeue: the task was an innocent casualty
+            # (e.g. its library instance was killed because a *sibling*
+            # invocation timed out).  No blame — the worker is healthy —
+            # but the attempt still counts against the retry budget.
+            self._requeue_task(task, blame=None)
+            return
+        if kind == "timeout":
+            self.stats["timeouts"] += 1
         task.set_exception(failure_from_message(message))
         task.mark("completed", time.monotonic())
         self._completed.append(task)
@@ -920,37 +1069,77 @@ class Manager:
         except (KeyError, ValueError):
             pass
         link.conn.close()
-        self._workers.pop(link.name, None)
+        if self._workers.pop(link.name, None) is None:
+            return  # double loss (socket error racing a liveness expiry)
         self._outbox.pop(link.name, None)
         for digest in link.cached:
             self._drop_holder(digest, link.name)
         self.log.warning("lost worker %s", link.name)
-        if link.name not in self.placement.workers:
-            return
-        lost_instances = [
+        # Requeue the worker's in-flight work BEFORE any placement-state
+        # check: even if the placement entry is gone (double loss or a
+        # registration race), _running/_invocation_instance/
+        # _task_worker_key entries must never leak.
+        lost_instances = {
             iid
             for iid, rec in self._instances.items()
             if rec.instance.worker == link.name
-        ]
+        }
         for iid in lost_instances:
             del self._instances[iid]
         for task_id, iid in list(self._invocation_instance.items()):
             if iid in lost_instances:
-                self._requeue(task_id)
                 self._invocation_instance.pop(task_id, None)
+                self._requeue(task_id, blame=link.name)
         for task_id, worker in list(self._task_worker_key.items()):
             if worker == link.name:
-                self._requeue(task_id)
                 self._task_worker_key.pop(task_id, None)
-        self.placement.remove_worker(link.name)
+                self._requeue(task_id, blame=link.name)
+        if link.name in self.placement.workers:
+            self.placement.remove_worker(link.name)
         self.stats["workers_lost"] += 1
 
-    def _requeue(self, task_id: int) -> None:
+    def _requeue(self, task_id: int, blame: Optional[str] = None) -> None:
         task = self._running.pop(task_id, None)
         if task is None:
             return
-        task.state = TaskState.SUBMITTED
+        self._requeue_task(task, blame=blame)
+
+    def _requeue_task(self, task: Task, blame: Optional[str]) -> None:
+        """Give a task (already removed from ``_running``) another try.
+
+        Each requeue spends one unit of the task's retry budget, records
+        ``blame`` (the worker it was lost on — never redispatched there),
+        and arms an exponential backoff gate.  Past ``max_retries`` the
+        task fails with :class:`~repro.errors.TaskRetryExhausted`
+        carrying the full loss history.
+        """
+        task.retries += 1
         task.worker = None
+        if blame is not None:
+            task.workers_lost_on.append(blame)
+        if task.retries > self.max_retries:
+            task.set_exception(
+                TaskRetryExhausted(
+                    f"task {task.id} lost its worker {task.retries} times "
+                    f"(retry budget {self.max_retries}); "
+                    f"lost on: {task.workers_lost_on or ['<unknown>']}",
+                    losses=task.workers_lost_on,
+                    retries=task.retries,
+                )
+            )
+            task.mark("completed", time.monotonic())
+            self._completed.append(task)
+            self.stats["retry_exhausted"] += 1
+            self.stats["failed"] += 1
+            return
+        if self.retry_backoff > 0.0:
+            backoff = min(
+                self.retry_backoff * (2 ** (task.retries - 1)),
+                self.retry_backoff_max,
+            )
+            task.not_before = time.monotonic() + backoff
+            self._note_backoff(task.not_before)
+        task.state = TaskState.SUBMITTED
         if isinstance(task, FunctionCall):
             self._pending_invocations.setdefault(
                 task.library_name, collections.deque()

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 from bisect import bisect_right, insort
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Set, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
 
 from repro.engine.resources import ResourcePool, Resources
 from repro.errors import SchedulingError
@@ -200,17 +200,28 @@ class Placement:
         return inst
 
     # -- invocation placement ------------------------------------------------
-    def find_invocation_slot(self, library_name: str) -> Optional[LibraryInstance]:
+    def find_invocation_slot(
+        self, library_name: str, exclude: Optional[Iterable[str]] = None
+    ) -> Optional[LibraryInstance]:
         """A ready instance of ``library_name`` with a free slot.
 
         O(1): peeks the per-library free-slot index (FIFO by readiness,
         so instances fill in deployment order) instead of walking the
-        ring and every worker's instance table.
+        ring and every worker's instance table.  ``exclude`` names
+        workers to skip — the retry path's blame set, so a task is never
+        redispatched to a worker it was just lost on; only retried tasks
+        pay the O(free instances) filtered scan.
         """
         bucket = self._free_slots.get(library_name)
         if not bucket:
             return None
-        return next(iter(bucket.values()))
+        if not exclude:
+            return next(iter(bucket.values()))
+        banned = set(exclude)
+        for inst in bucket.values():
+            if inst.worker not in banned:
+                return inst
+        return None
 
     def find_evictable_library(
         self, library_name: Optional[str]
@@ -249,9 +260,17 @@ class Placement:
             self._reindex(inst)
 
     # -- plain task placement -----------------------------------------------
-    def place_task(self, key: str, resources: Resources) -> Optional[str]:
-        """Choose a worker for a regular task; commit its resources."""
+    def place_task(
+        self, key: str, resources: Resources, exclude: Optional[Iterable[str]] = None
+    ) -> Optional[str]:
+        """Choose a worker for a regular task; commit its resources.
+
+        ``exclude`` names workers to skip (the retry blame set).
+        """
+        banned = set(exclude) if exclude else ()
         for wname in self.ring.walk(key):
+            if wname in banned:
+                continue
             slot = self.workers[wname]
             if slot.pool.can_allocate(resources):
                 slot.pool.allocate(resources)

@@ -18,7 +18,7 @@ from typing import Any, Callable, Dict, List, Optional
 from repro.discover.context import FunctionContext
 from repro.engine.files import VineFile
 from repro.engine.resources import Resources
-from repro.errors import EngineError, TaskFailure
+from repro.errors import EngineError, TaskFailure, TaskTimeout
 
 _task_ids = itertools.count(1)
 
@@ -50,6 +50,28 @@ class Task:
         self._exception: Optional[BaseException] = None
         # Timestamps for overhead breakdowns (monotonic seconds).
         self.timeline: Dict[str, float] = {}
+        # Fault-tolerance bookkeeping (owned by the manager):
+        # number of times the task was requeued after losing its worker,
+        # the blame set of workers it was lost on (never redispatched
+        # there), and the earliest monotonic time it may redispatch
+        # (exponential backoff gate; 0.0 = immediately).
+        self.retries: int = 0
+        self.workers_lost_on: List[str] = []
+        self.not_before: float = 0.0
+        # Optional wall-clock timeout enforced on the worker side.
+        self.timeout: Optional[float] = None
+
+    def set_timeout(self, seconds: Optional[float]) -> None:
+        """Bound the task's wall-clock execution time on the worker.
+
+        A direct-mode invocation that overruns kills its library
+        instance; a fork-mode invocation or plain task only loses its
+        own subprocess.  The failure surfaces as
+        :class:`~repro.errors.TaskTimeout`.
+        """
+        if seconds is not None and seconds <= 0:
+            raise EngineError("timeout must be positive (or None to disable)")
+        self.timeout = seconds
 
     def add_input(self, f: VineFile) -> None:
         if self.state is not TaskState.CREATED:
@@ -172,8 +194,14 @@ class FunctionCall(Task):
 
 
 def failure_from_message(message: dict) -> TaskFailure:
-    """Build a :class:`TaskFailure` from a remote error report."""
-    return TaskFailure(
+    """Build a :class:`TaskFailure` from a remote error report.
+
+    ``kind: "timeout"`` reports (worker- or library-enforced wall-clock
+    timeouts) map to :class:`~repro.errors.TaskTimeout` so callers can
+    distinguish overruns from ordinary remote exceptions.
+    """
+    cls = TaskTimeout if message.get("kind") == "timeout" else TaskFailure
+    return cls(
         message.get("error", "remote execution failed"),
         remote_traceback=message.get("traceback"),
     )

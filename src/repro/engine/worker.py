@@ -66,6 +66,8 @@ class _RunningTask:
     staging_time: float
     env_time: float
     started: float
+    timeout: Optional[float] = None
+    deadline: Optional[float] = None  # monotonic; None = unbounded
 
 
 @dataclass
@@ -82,6 +84,10 @@ class _LibraryHandle:
     pending: List[tuple] = field(default_factory=list)  # queued invokes
     invocations: Dict[int, Sandbox] = field(default_factory=dict)
     staging: Dict[int, float] = field(default_factory=dict)
+    # task_id -> (monotonic deadline, requested timeout seconds), only
+    # for direct-mode invocations: the worker enforces those by killing
+    # the library process (fork-mode children are killed library-side).
+    deadlines: Dict[int, tuple] = field(default_factory=dict)
 
 
 class _TransferServer(threading.Thread):
@@ -152,8 +158,13 @@ class Worker:
         disk: int = 4096,
         workdir: str,
         cache_capacity: Optional[int] = None,
+        status_interval: float = 2.0,
     ):
         self.name = name
+        # Status reports double as liveness heartbeats: the manager
+        # declares a worker silent past its deadline lost, so the
+        # interval must stay well below Manager.liveness_deadline.
+        self.status_interval = max(0.05, status_interval)
         self.resources = Resources(cores=cores, memory=memory, disk=disk)
         self.workdir = os.path.abspath(workdir)
         os.makedirs(self.workdir, exist_ok=True)
@@ -224,8 +235,9 @@ class Worker:
                         self._handle_library_message(ref)
                 self._drain_buffered()
                 self._poll_tasks()
+                self._check_invocation_timeouts()
                 now = time.monotonic()
-                if now - last_status >= 2.0:
+                if now - last_status >= self.status_interval:
                     self._send_status()
                     last_status = now
         except ProtocolError:
@@ -385,8 +397,17 @@ class Worker:
                 }
             )
             return
+        timeout = message.get("timeout")
+        started = time.monotonic()
         self.tasks[task_id] = _RunningTask(
-            task_id, proc, sandbox, staging, env_time, time.monotonic()
+            task_id,
+            proc,
+            sandbox,
+            staging,
+            env_time,
+            started,
+            timeout=timeout,
+            deadline=started + timeout if timeout else None,
         )
 
     def _on_library(self, message: dict, payload: bytes) -> None:
@@ -479,10 +500,14 @@ class Worker:
         instance_id = int(message["instance_id"])
         handle = self.libraries.get(instance_id)
         if handle is None:
+            # The instance died (timeout kill, crash) while this dispatch
+            # was in flight; hand the invocation back for a retry rather
+            # than failing it — the retry budget bounds the loop.
             self.manager.send(
                 {
                     "type": "task_failed",
                     "task_id": task_id,
+                    "kind": "requeue",
                     "error": f"no library instance {instance_id} on this worker",
                 }
             )
@@ -494,15 +519,25 @@ class Worker:
             sandbox.stage(self.cache.path_of(item["hash"]), item["name"])
         handle.invocations[task_id] = sandbox
         handle.staging[task_id] = time.monotonic() - staging_started
-        invoke = (
-            {
-                "type": "invoke",
-                "task_id": task_id,
-                "function": message["function"],
-                "sandbox": sandbox.path,
-                "mode": message.get("mode", "direct"),
-            },
-        )
+        mode = message.get("mode", "direct")
+        timeout = message.get("timeout")
+        frame = {
+            "type": "invoke",
+            "task_id": task_id,
+            "function": message["function"],
+            "sandbox": sandbox.path,
+            "mode": mode,
+        }
+        if timeout:
+            # Direct-mode work shares the library process, so the worker
+            # enforces the deadline by killing the instance; fork-mode
+            # children are killed by the library itself, which needs the
+            # timeout forwarded.
+            if mode == "fork":
+                frame["timeout"] = timeout
+            else:
+                handle.deadlines[task_id] = (time.monotonic() + timeout, timeout)
+        invoke = (frame,)
         if handle.ready and handle.conn is not None:
             handle.conn.send(invoke[0])
         else:
@@ -596,25 +631,98 @@ class Worker:
         sandbox = handle.invocations.pop(task_id, None)
         if sandbox is None:
             return
+        handle.deadlines.pop(task_id, None)
         times = dict(message.get("times", {}))
         times["staging"] = handle.staging.pop(task_id, 0.0)
         times["worker_overhead"] = 0.0  # context was already resident
-        if sandbox.exists(RESULT_FILE):
+        if message.get("kind") != "timeout" and sandbox.exists(RESULT_FILE):
             data = sandbox.read(RESULT_FILE)
             self.manager.send(
                 {"type": "result", "task_id": task_id, "kind": "invocation", "times": times},
                 data,
             )
         else:
+            failure = {
+                "type": "task_failed",
+                "task_id": task_id,
+                "error": message.get("error", "invocation produced no result"),
+                "traceback": message.get("traceback"),
+            }
+            if message.get("kind") == "timeout":  # fork-mode child overran
+                failure["kind"] = "timeout"
+            self.manager.send(failure)
+        sandbox.destroy()
+
+    def _check_invocation_timeouts(self) -> None:
+        """Enforce direct-mode wall-clock deadlines.
+
+        Direct execution shares the library process, so the only way to
+        stop an overrunning invocation is to kill the whole instance.
+        The victim is reported as a timeout; sibling invocations staged
+        on the same instance are innocent, so the manager is asked to
+        requeue (not fail) them; finally the instance itself is reported
+        failed with a ``timeout`` kind so the manager does not poison
+        the library's queue.
+        """
+        now = time.monotonic()
+        for handle in list(self.libraries.values()):
+            if not handle.deadlines:
+                continue
+            victim = next(
+                (
+                    tid
+                    for tid, (deadline, _) in handle.deadlines.items()
+                    if now > deadline
+                ),
+                None,
+            )
+            if victim is not None:
+                self._kill_timed_out(handle, victim)
+
+    def _kill_timed_out(self, handle: _LibraryHandle, task_id: int) -> None:
+        _, timeout = handle.deadlines.pop(task_id)
+        self.log.warning(
+            "invocation %d exceeded its %.1fs timeout; killing library %d",
+            task_id, timeout, handle.instance_id,
+        )
+        if handle.proc.poll() is None:
+            handle.proc.kill()
+        sandbox = handle.invocations.pop(task_id, None)
+        handle.staging.pop(task_id, None)
+        self.manager.send(
+            {
+                "type": "task_failed",
+                "task_id": task_id,
+                "kind": "timeout",
+                "error": (
+                    f"invocation exceeded its {timeout}s wall-clock timeout; "
+                    "library instance killed"
+                ),
+            }
+        )
+        if sandbox is not None:
+            sandbox.destroy()
+        for sibling in list(handle.invocations):
+            handle.deadlines.pop(sibling, None)
+            handle.staging.pop(sibling, None)
             self.manager.send(
                 {
                     "type": "task_failed",
-                    "task_id": task_id,
-                    "error": message.get("error", "invocation produced no result"),
-                    "traceback": message.get("traceback"),
+                    "task_id": sibling,
+                    "kind": "requeue",
+                    "error": "library instance killed (sibling invocation timed out)",
                 }
             )
-        sandbox.destroy()
+            handle.invocations.pop(sibling).destroy()
+        self.manager.send(
+            {
+                "type": "library_failed",
+                "instance_id": handle.instance_id,
+                "kind": "timeout",
+                "error": "library killed after an invocation timeout",
+            }
+        )
+        self._terminate_library(handle)
 
     def _library_died(self, handle: _LibraryHandle) -> None:
         stderr = b""
@@ -679,6 +787,11 @@ class Worker:
             running = self.tasks[task_id]
             code = running.proc.poll()
             if code is None:
+                if (
+                    running.deadline is not None
+                    and time.monotonic() > running.deadline
+                ):
+                    self._kill_timed_out_task(running)
                 continue
             del self.tasks[task_id]
             times: Dict[str, Any] = {
@@ -705,3 +818,27 @@ class Worker:
                     }
                 )
             running.sandbox.destroy()
+
+    def _kill_timed_out_task(self, running: _RunningTask) -> None:
+        """A plain task runs in its own subprocess — kill just that."""
+        self.log.warning(
+            "task %d exceeded its %.1fs timeout; killing its runner",
+            running.task_id, running.timeout,
+        )
+        running.proc.kill()
+        try:
+            running.proc.wait(timeout=5.0)
+        except subprocess.TimeoutExpired:
+            pass
+        del self.tasks[running.task_id]
+        self.manager.send(
+            {
+                "type": "task_failed",
+                "task_id": running.task_id,
+                "kind": "timeout",
+                "error": (
+                    f"task exceeded its {running.timeout}s wall-clock timeout"
+                ),
+            }
+        )
+        running.sandbox.destroy()

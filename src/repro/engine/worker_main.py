@@ -34,6 +34,12 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--cache-capacity", type=int, default=None, help="cache capacity in bytes"
     )
+    parser.add_argument(
+        "--status-interval",
+        type=float,
+        default=2.0,
+        help="seconds between status reports (the manager's liveness heartbeat)",
+    )
     args = parser.parse_args(argv)
     host, port = args.manager
     worker = Worker(
@@ -45,6 +51,7 @@ def main(argv: list[str] | None = None) -> int:
         disk=args.disk,
         workdir=args.workdir,
         cache_capacity=args.cache_capacity,
+        status_interval=args.status_interval,
     )
     worker.run()
     return 0

@@ -55,6 +55,39 @@ class TaskFailure(EngineError):
         self.remote_traceback = remote_traceback
 
 
+class TaskRetryExhausted(TaskFailure):
+    """A task exhausted its retry budget after repeated worker losses.
+
+    Raised by the manager when a task has been requeued ``max_retries``
+    times (so it executed at most ``max_retries + 1`` times) and then
+    lost its worker again.  ``losses`` is the ordered list of worker
+    names the task was running on when each loss occurred — the blame
+    history that distinguishes a poison task (same failure everywhere)
+    from plain bad luck.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        losses: list[str] | None = None,
+        retries: int = 0,
+        remote_traceback: str | None = None,
+    ):
+        super().__init__(message, remote_traceback=remote_traceback)
+        self.losses = list(losses or [])
+        self.retries = retries
+
+
+class TaskTimeout(TaskFailure):
+    """A task or invocation exceeded its wall-clock timeout.
+
+    Direct-mode invocations share the library process, so enforcing the
+    timeout kills the library instance; fork-mode invocations and plain
+    tasks only lose their own subprocess.
+    """
+
+
 class ResourceError(EngineError):
     """A resource request cannot be satisfied (cores/memory/disk/slots)."""
 

@@ -163,6 +163,25 @@ def test_cancel_queued_then_wait_all_dispatches_rest(tmp_path):
             assert drained is cancelled
 
 
+def test_wait_all_sees_tasks_consumed_by_bare_wait(tmp_path):
+    """A task whose completion was drained by a bare wait() call is DONE
+    but will never come out of _completed again; wait_all must finish it
+    by state instead of wedging until timeout."""
+    with Manager() as manager:
+        manager.install_library(
+            manager.create_library_from_functions("w", lib_double, function_slots=2)
+        )
+        with LocalWorkerFactory(manager, count=1, cores=2, workdir=str(tmp_path)):
+            calls = [FunctionCall("w", "lib_double", i) for i in range(2)]
+            for call in calls:
+                manager.submit(call)
+            # Consume one completion through the bare wait() surface.
+            first = manager.wait(timeout=60)
+            assert first is not None
+            manager.wait_all(calls, timeout=30)
+            assert [c.result for c in calls] == [0, 2]
+
+
 # ------------------------------------------- scan work is flat while blocked
 def test_queue_scan_flat_while_blocked():
     """A blocked library queue costs zero dispatch work per tick: the
