@@ -8,10 +8,12 @@ carries no such restriction; this benchmark projects the additional win.
 from repro.bench import extension_examol_l3
 
 
-def test_extension_examol_l3(benchmark, show):
+def test_extension_examol_l3(benchmark, show, smoke):
     result = benchmark.pedantic(extension_examol_l3, rounds=1, iterations=1)
     show(result)
     v = result.values
+    if smoke:
+        return  # shapes below need paper scale; smoke only checks the run
     assert v["L3"] < v["L2"] < v["L1"]
     # ExaMol tasks are minutes-long: the projected L3 win is real but far
     # smaller than LNNI's (Figure 8's lesson applies).

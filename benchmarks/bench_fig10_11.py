@@ -9,10 +9,12 @@ invocations complete".
 from repro.bench import fig10_11_library_curves
 
 
-def test_fig10_11_library_curves(benchmark, show):
+def test_fig10_11_library_curves(benchmark, show, smoke):
     result = benchmark.pedantic(fig10_11_library_curves, rounds=1, iterations=1)
     show(result)
     v = result.values
+    if smoke:
+        return  # shapes below need paper scale; smoke only checks the run
     assert v["peak_libraries"] == 2400                     # 150 workers x 16
     assert 1200 <= v["steady_state_libraries"] <= 2300     # paper: ~2000
     # Share value grows roughly linearly: the sampled curve is increasing

@@ -8,10 +8,12 @@ Table-3 fleet; see repro.sim.calibration for the measured/fitted split.
 from repro.bench import fig6_execution_times
 
 
-def test_fig6_execution_times(benchmark, show):
+def test_fig6_execution_times(benchmark, show, smoke):
     result = benchmark.pedantic(fig6_execution_times, rounds=1, iterations=1)
     show(result)
     v = result.values
+    if smoke:
+        return  # shapes below need paper scale; smoke only checks the run
     assert v["lnni_L3"] < v["lnni_L2"] < v["lnni_L1"]
     assert 85.0 < v["lnni_reduction_pct"] < 99.0          # paper: 94.5%
     assert v["examol_L2"] < v["examol_L1"]

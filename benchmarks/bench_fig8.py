@@ -9,10 +9,12 @@ invocations to reuse their function context."
 from repro.bench import fig8_invocation_length_sweep
 
 
-def test_fig8_invocation_length_sweep(benchmark, show):
+def test_fig8_invocation_length_sweep(benchmark, show, smoke):
     result = benchmark.pedantic(fig8_invocation_length_sweep, rounds=1, iterations=1)
     show(result)
     v = result.values
+    if smoke:
+        return  # shapes below need paper scale; smoke only checks the run
     # The reuse benefit decays monotonically with invocation length.
     assert v["reduction_vs_l1_16"] > v["reduction_vs_l1_160"] > v["reduction_vs_l1_1600"]
     assert v["reduction_vs_l1_16"] > 70.0      # paper: 81%

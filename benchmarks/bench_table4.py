@@ -8,10 +8,12 @@ smallest spread, and the smallest maximum; L1 has the heaviest tail.
 from repro.bench import table4_runtime_stats
 
 
-def test_table4_runtime_stats(benchmark, show):
+def test_table4_runtime_stats(benchmark, show, smoke):
     result = benchmark.pedantic(table4_runtime_stats, rounds=1, iterations=1)
     show(result)
     v = result.values
+    if smoke:
+        return  # shapes below need paper scale; smoke only checks the run
     assert v["L3_mean"] < v["L2_mean"] < v["L1_mean"]
     assert v["L3_std"] < v["L2_std"] < v["L1_std"]
     assert v["L3_max"] < v["L2_max"] < v["L1_max"]

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Repo CI gate: tier-1 test suite + fault-injection suite + chaos smoke
-# + dispatch-throughput smoke with a regression check against the
-# committed baseline (BENCH_dispatch.json).
+# + benchmark smoke (every bench_*.py at ≤200 invocations) + dispatch-
+# throughput smoke with a regression check against the committed
+# baseline (BENCH_dispatch.json).
 #
 # Usage:  scripts/ci.sh
 #
@@ -22,6 +23,7 @@ export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 TIER1_CAP="${CI_TIER1_CAP:-1200}"
 FAULTS_CAP="${CI_FAULTS_CAP:-600}"
 BENCH_CAP="${CI_BENCH_CAP:-600}"
+SMOKE_CAP="${CI_SMOKE_CAP:-600}"
 
 # The throughput measurement runs FIRST: the test suites spawn hundreds
 # of short-lived worker subprocesses and leave the scheduler noisy for a
@@ -79,5 +81,13 @@ timeout --signal=TERM --kill-after=30 "$FAULTS_CAP" \
 echo "== chaos smoke (cap ${BENCH_CAP}s) =="
 timeout --signal=TERM --kill-after=30 "$BENCH_CAP" \
     python -m pytest -x -q benchmarks/bench_chaos.py
+
+# Every experiment runs end to end with workloads clamped to ≤200
+# invocations (REPRO_BENCH_SMOKE, see repro/bench/experiments.py);
+# assertions that only hold at paper scale are skipped inside the tests.
+# Catches import errors, API drift, and crashes across the whole suite.
+echo "== benchmark smoke, all experiments at tiny scale (cap ${SMOKE_CAP}s) =="
+timeout --signal=TERM --kill-after=30 "$SMOKE_CAP" \
+    env REPRO_BENCH_SMOKE=1 python -m pytest -q benchmarks/
 
 echo "== ci passed =="

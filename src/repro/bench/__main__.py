@@ -5,6 +5,7 @@ Regenerates the paper's tables and figures from the command line::
     python -m repro.bench --list
     python -m repro.bench fig6 table4
     python -m repro.bench all --quick
+    python -m repro.bench trace --out /tmp/trace.json
 
 ``--quick`` shrinks the LNNI workload to 10k invocations (the full 100k
 runs take ~10s each on the simulator; real-engine experiments always use
@@ -37,6 +38,10 @@ EXPERIMENTS: Dict[str, Callable[..., object]] = {
     "extension_examol_l3": lambda n: experiments.extension_examol_l3(),
 }
 
+# ``trace`` is not part of "all": it drives the real engine with tracing
+# enabled and writes a file, so it only runs when asked for by name.
+TRACE_EXPERIMENT = "trace"
+
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(prog="python -m repro.bench", description=__doc__)
@@ -50,19 +55,27 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--quick", action="store_true", help="10k-invocation LNNI instead of 100k"
     )
+    parser.add_argument(
+        "--out",
+        default="repro-trace.json",
+        help="output path for the 'trace' experiment's Chrome trace JSON",
+    )
     args = parser.parse_args(argv)
     if args.list:
-        for name in EXPERIMENTS:
+        for name in [*EXPERIMENTS, TRACE_EXPERIMENT]:
             print(name)
         return 0
     chosen = list(EXPERIMENTS) if "all" in args.experiments else args.experiments
-    unknown = [c for c in chosen if c not in EXPERIMENTS]
+    unknown = [c for c in chosen if c not in EXPERIMENTS and c != TRACE_EXPERIMENT]
     if unknown:
         parser.error(f"unknown experiments: {unknown}; use --list")
     n = 10_000 if args.quick else 100_000
     for name in chosen:
         started = time.monotonic()
-        result = EXPERIMENTS[name](n)
+        if name == TRACE_EXPERIMENT:
+            result = experiments.trace_workload(out_path=args.out)
+        else:
+            result = EXPERIMENTS[name](n)
         elapsed = time.monotonic() - started
         print(f"\n=== {result.experiment} ({elapsed:.1f}s) ===")
         if result.paper_reference:

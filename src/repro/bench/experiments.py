@@ -25,6 +25,18 @@ from repro.sim.trace import RunResult
 from repro.util.stats import summarize
 
 _FULL = os.environ.get("REPRO_BENCH_FULL", "") not in ("", "0")
+# CI smoke mode: clamp every experiment's invocation/task count so the
+# whole benchmark suite runs in seconds.  Scale-dependent *assertions*
+# in benchmarks/ are skipped under smoke (see benchmarks/conftest.py);
+# the point is catching bit-rot (import errors, API drift, crashes),
+# not validating paper-scale shapes.
+_SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+_SMOKE_CAP = 200
+
+
+def _cap(n: int) -> int:
+    """Clamp a workload size to the CI smoke budget (≤200 invocations)."""
+    return min(n, _SMOKE_CAP) if _SMOKE else n
 
 
 def _simple_add(a: int, b: int) -> int:
@@ -40,9 +52,9 @@ def table2_overhead(n_invocations: int | None = None) -> TableResult:
     and 400 for invocation mode, preserving the contrast the table makes:
     per-invocation overhead is orders of magnitude below per-task.
     """
-    n_task = n_invocations or (1000 if _FULL else 40)
-    n_invoc = n_invocations or (1000 if _FULL else 400)
-    n_local = n_invocations or 1000
+    n_task = _cap(n_invocations or (1000 if _FULL else 40))
+    n_invoc = _cap(n_invocations or (1000 if _FULL else 400))
+    n_local = _cap(n_invocations or 1000)
 
     # Local invocation.
     started = time.monotonic()
@@ -147,7 +159,7 @@ def dispatch_throughput(
     of the queue length, is the visible sign that dispatch work no
     longer scales with queued-but-unplaceable invocations.
     """
-    n = n_invocations or (5000 if _FULL else 800)
+    n = _cap(n_invocations or (5000 if _FULL else 800))
     with Manager() as manager:
         library = manager.create_library_from_functions(
             "dispatch-bench", _bench_noop, function_slots=function_slots
@@ -337,6 +349,7 @@ def lnni_levels(
     inferences: int = 16,
 ) -> Dict[str, RunResult]:
     """Simulate LNNI at each level (memoized — Table 4 / Figs 6a, 7 share runs)."""
+    n_invocations = _cap(n_invocations)
     out = {}
     for level in levels:
         key = (level, n_invocations, n_workers, inferences)
@@ -356,6 +369,8 @@ def fig6_execution_times(
     lnni_invocations: int = 100_000, examol_tasks: int = 10_000
 ) -> TableResult:
     """Figure 6: application execution time per context-reuse level."""
+    lnni_invocations = _cap(lnni_invocations)
+    examol_tasks = _cap(examol_tasks)
     lnni = lnni_levels(lnni_invocations)
     rows = [
         [f"LNNI-{lnni_invocations // 1000}k", level, f"{res.makespan:.0f}"]
@@ -432,6 +447,7 @@ def table4_runtime_stats(n_invocations: int = 100_000) -> TableResult:
 # --------------------------------------------------------------------- Figure 8
 def fig8_invocation_length_sweep(n_invocations: int = 10_000) -> TableResult:
     """Figure 8: effect of invocation length (16/160/1600 inferences)."""
+    n_invocations = _cap(n_invocations)
     rows = []
     values: Dict[str, float] = {}
     for inferences in (16, 160, 1600):
@@ -474,6 +490,7 @@ def fig8_invocation_length_sweep(n_invocations: int = 10_000) -> TableResult:
 # --------------------------------------------------------------------- Figure 9
 def fig9_worker_sweep(n_invocations: int = 10_000) -> TableResult:
     """Figure 9: effect of worker count (plus the 10/25-worker L3 note)."""
+    n_invocations = _cap(n_invocations)
     rows = []
     values: Dict[str, float] = {}
     for n_workers in (50, 100, 150):
@@ -506,6 +523,7 @@ def fig9_worker_sweep(n_invocations: int = 10_000) -> TableResult:
 # ---------------------------------------------------------------- Figures 10/11
 def fig10_11_library_curves(n_invocations: int = 100_000) -> TableResult:
     """Figures 10 & 11: deployed libraries and mean share value over time."""
+    n_invocations = _cap(n_invocations)
     res = lnni_levels(n_invocations, levels=(ReuseLevel.L3,))["L3"]
     timeline = res.trace.library_timeline
     shares = res.trace.share_timeline
@@ -594,7 +612,10 @@ def table5_overhead_breakdown(synthetic_modules: int = 24) -> TableResult:
                         breakdown = {
                             "transfer": transfer,
                             "worker": ov.get("worker_overhead", 0.0),
-                            "invoc": ov.get("reload_overhead", 0.0),
+                            # reload + payload deserialization: task_runner
+                            # reports them separately since the obs split.
+                            "invoc": ov.get("reload_overhead", 0.0)
+                            + ov.get("deserialize", 0.0),
                             "exec": ov.get("exec_time", 0.0),
                         }
                         values[label] = breakdown
@@ -715,6 +736,7 @@ def extension_examol_l3(n_tasks: int = 10_000) -> TableResult:
     constraint, so we can project what retaining ExaMol's contexts in
     memory would buy once that engineering lands.
     """
+    n_tasks = _cap(n_tasks)
     rows = []
     values: Dict[str, float] = {}
     for level in (ReuseLevel.L1, ReuseLevel.L2, ReuseLevel.L3):
@@ -743,6 +765,7 @@ def ablation_sim_distribution(n_invocations: int = 10_000) -> TableResult:
     *application* makespan at L2 and L3, where 150 cold workers all need
     the 572 MB environment at startup.
     """
+    n_invocations = _cap(n_invocations)
     rows = []
     values: Dict[str, float] = {}
     for level in (ReuseLevel.L2, ReuseLevel.L3):
@@ -767,6 +790,7 @@ def ablation_sim_distribution(n_invocations: int = 10_000) -> TableResult:
 
 def ablation_library_slots(n_invocations: int = 10_000) -> TableResult:
     """§3.5.2 ablation: 16 one-slot libraries vs 1 sixteen-slot library."""
+    n_invocations = _cap(n_invocations)
     rows = []
     values: Dict[str, float] = {}
     for slots, label in ((1, "16 x 1-slot"), (16, "1 x 16-slot")):
@@ -787,4 +811,90 @@ def ablation_library_slots(n_invocations: int = 10_000) -> TableResult:
         text=text,
         values=values,
         paper_reference="§3.5.2: alternative library slot allocations",
+    )
+
+
+# ------------------------------------------------------------- Trace harness
+def trace_workload(
+    n_invocations: int = 8,
+    n_tasks: int = 2,
+    out_path: str = "repro-trace.json",
+) -> TableResult:
+    """Run a small LNNI workload with tracing on; export a Chrome trace.
+
+    Drives the real engine (manager + worker + library processes) with
+    ``REPRO_TRACE`` enabled, so the manager assembles a merged timeline
+    containing events from all three process kinds: its own dispatch and
+    transfer events, the worker's staging/cache events piggybacked on
+    result frames, and the library's warm/invoke events relayed through
+    the worker.  Writes Chrome ``trace_event`` JSON (viewable at
+    https://ui.perfetto.dev) and prints the paper's six-component
+    per-invocation cost report.
+    """
+    from repro.apps.lnni.workload import (
+        WEIGHTS_FILE,
+        lnni_context_setup,
+        lnni_infer,
+        lnni_task,
+        save_pretrained,
+    )
+    from repro.discover.data import declare_data
+    from repro.obs.export import cost_report, write_chrome_trace
+
+    n_invocations = _cap(n_invocations)
+    n_tasks = _cap(n_tasks)
+    previous = os.environ.get("REPRO_TRACE")
+    os.environ["REPRO_TRACE"] = "1"  # children inherit the env at spawn
+    try:
+        weights = save_pretrained()
+        with Manager() as manager:
+            binding = declare_data(weights, remote_name=WEIGHTS_FILE)
+            library = manager.create_library_from_functions(
+                "lnni-trace",
+                lnni_infer,
+                context=lnni_context_setup,
+                data=[binding],
+                function_slots=2,
+            )
+            manager.install_library(library)
+            weights_file = manager.declare_buffer(weights, WEIGHTS_FILE)
+            with LocalWorkerFactory(manager, count=1, cores=2):
+                calls = [
+                    FunctionCall("lnni-trace", "lnni_infer", seed, 4)
+                    for seed in range(n_invocations)
+                ]
+                tasks = []
+                for seed in range(n_tasks):
+                    task = PythonTask(lnni_task, 1000 + seed, 4)
+                    task.add_input(weights_file)
+                    tasks.append(task)
+                for work in [*calls, *tasks]:
+                    manager.submit(work)
+                manager.wait_all([*calls, *tasks], timeout=300.0)
+            # Snapshot before close(): close flushes (and empties) the ring.
+            events = manager.trace_events()
+    finally:
+        if previous is None:
+            os.environ.pop("REPRO_TRACE", None)
+        else:
+            os.environ["REPRO_TRACE"] = previous
+
+    write_chrome_trace(events, out_path)
+    components = sorted({e.component.split(".")[0] for e in events})
+    report = cost_report(events)
+    text = (
+        f"wrote Chrome trace: {out_path} "
+        f"({len(events)} events; open in https://ui.perfetto.dev)\n"
+        f"processes traced: {', '.join(components)}\n" + report
+    )
+    return TableResult(
+        experiment="trace",
+        text=text,
+        values={
+            "events": len(events),
+            "task_cost_events": sum(1 for e in events if e.etype == "task_cost"),
+            "components": components,
+            "out_path": out_path,
+        },
+        paper_reference="§4.7 / Table 5: per-invocation cost decomposition",
     )

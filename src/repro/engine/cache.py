@@ -16,6 +16,8 @@ from dataclasses import dataclass
 from typing import Dict, Optional
 
 from repro.errors import CacheError
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import NULL_TRACER
 from repro.util.hashing import hash_file, short_hash
 
 
@@ -40,6 +42,8 @@ class WorkerCache:
         capacity: Optional[int] = None,
         *,
         on_evict: Optional[callable] = None,
+        registry: Optional[MetricsRegistry] = None,
+        tracer=None,
     ):
         self.root = root
         os.makedirs(root, exist_ok=True)
@@ -50,13 +54,31 @@ class WorkerCache:
         # check are O(1) instead of O(entries) per eviction-loop pass.
         self._used_bytes = 0
         self._pinned_entries = 0
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
+        # Hit/miss/eviction counters live in a metrics registry (shared
+        # with the owning worker when one is passed in); the hits/misses/
+        # evictions properties preserve the historical attribute API.
+        self.metrics = registry if registry is not None else MetricsRegistry()
+        self._hits = self.metrics.counter("cache.hits")
+        self._misses = self.metrics.counter("cache.misses")
+        self._evictions = self.metrics.counter("cache.evictions")
+        self._bytes_gauge = self.metrics.gauge("cache.used_bytes")
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         # Called with each evicted digest so the owner (the worker) can
         # tell the manager the replica is gone — otherwise the manager's
         # replica map silently goes stale and later dispatches fail.
         self.on_evict = on_evict
+
+    @property
+    def hits(self) -> int:
+        return int(self._hits.value)
+
+    @property
+    def misses(self) -> int:
+        return int(self._misses.value)
+
+    @property
+    def evictions(self) -> int:
+        return int(self._evictions.value)
 
     # -- queries ---------------------------------------------------------
     def __contains__(self, digest: str) -> bool:
@@ -69,19 +91,23 @@ class WorkerCache:
         """Path of a cached file; records an access (LRU touch)."""
         entry = self._entries.get(digest)
         if entry is None:
-            self.misses += 1
+            self._misses.inc()
+            self.tracer.record("cache_miss", hash=digest)
             raise CacheError(f"cache miss for {short_hash(digest)}")
-        self.hits += 1
+        self._hits.inc()
+        self.tracer.record("cache_hit", hash=digest)
         self._entries.move_to_end(digest)
         return entry.path
 
     def probe(self, digest: str) -> bool:
         """Hit test without raising (still counts hit/miss statistics)."""
         if digest in self._entries:
-            self.hits += 1
+            self._hits.inc()
+            self.tracer.record("cache_hit", hash=digest)
             self._entries.move_to_end(digest)
             return True
-        self.misses += 1
+        self._misses.inc()
+        self.tracer.record("cache_miss", hash=digest)
         return False
 
     # -- mutation --------------------------------------------------------
@@ -105,7 +131,9 @@ class WorkerCache:
                     os.unlink(entry.path)
             except OSError:
                 pass
-            self.evictions += 1
+            self._evictions.inc()
+            self._bytes_gauge.set(self._used_bytes)
+            self.tracer.record("cache_evict", hash=victim, bytes=entry.size)
             if self.on_evict is not None:
                 self.on_evict(victim)
 
@@ -121,6 +149,7 @@ class WorkerCache:
         os.replace(tmp, path)
         self._entries[digest] = CacheEntry(digest, len(data), path)
         self._used_bytes += len(data)
+        self._bytes_gauge.set(self._used_bytes)
         return path
 
     def insert_path(self, digest: str, source: str, *, verify: bool = True) -> str:
@@ -135,6 +164,7 @@ class WorkerCache:
         os.replace(source, path)
         self._entries[digest] = CacheEntry(digest, size, path)
         self._used_bytes += size
+        self._bytes_gauge.set(self._used_bytes)
         return path
 
     def register_dir(self, digest: str, path: str, size: int) -> None:
@@ -149,6 +179,7 @@ class WorkerCache:
         self._evict_for(size)
         self._entries[digest] = CacheEntry(digest, size, path)
         self._used_bytes += size
+        self._bytes_gauge.set(self._used_bytes)
 
     def pin(self, digest: str) -> None:
         entry = self._entries.get(digest)
@@ -177,6 +208,7 @@ class WorkerCache:
             raise CacheError(f"entry {short_hash(digest)} is pinned; cannot remove")
         del self._entries[digest]
         self._used_bytes -= entry.size
+        self._bytes_gauge.set(self._used_bytes)
         try:
             if os.path.isdir(entry.path):
                 shutil.rmtree(entry.path, ignore_errors=True)

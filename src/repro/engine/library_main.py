@@ -79,10 +79,23 @@ def _serve_invocation_in(sandbox: str, fn, ns: Dict[str, Any]) -> Dict[str, Any]
 class LibraryServer:
     """The daemon loop: context setup once, invocations many times."""
 
-    def __init__(self, spec_path: str, socket_path: str, env_dir: str | None):
+    def __init__(
+        self,
+        spec_path: str,
+        socket_path: str,
+        env_dir: str | None,
+        instance_id: int = 0,
+    ):
         self.spec_path = spec_path
         self.socket_path = socket_path
         self.env_dir = env_dir
+        self.instance_id = instance_id
+        self.library_name = ""
+        # Forwarding tracer: events piggyback on the ready/complete
+        # frames to the worker, which relays them to the manager.
+        from repro.obs.trace import get_tracer
+
+        self.tracer = get_tracer(f"library.{instance_id or os.getpid()}")
         self.namespace: Dict[str, Any] = {}
         self.functions: Dict[str, Any] = {}
         self.children: Dict[int, int] = {}  # pid -> invocation task id
@@ -102,6 +115,7 @@ class LibraryServer:
         from repro.serialize.core import deserialize_from_file
 
         spec = deserialize_from_file(self.spec_path)
+        self.library_name = str(spec.get("name", ""))
         codes = spec["functions"]           # name -> FunctionCode
         for name in sorted(codes):
             self.functions[name] = codes[name].reconstruct(self.namespace)
@@ -129,7 +143,7 @@ class LibraryServer:
 
     # -- main loop -----------------------------------------------------------
     def serve(self) -> int:
-        from repro.engine.messages import Connection
+        from repro.engine.messages import Connection, attach_trace
 
         sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
         sock.connect(self.socket_path)
@@ -145,7 +159,17 @@ class LibraryServer:
                 }
             )
             return 1
-        conn.send({"type": "ready", "setup_time": self.setup_time})
+        self.tracer.record(
+            "library_warm",
+            library=self.library_name,
+            instance=self.instance_id,
+            seconds=self.setup_time,
+        )
+        conn.send(
+            attach_trace(
+                {"type": "ready", "setup_time": self.setup_time}, self.tracer
+            )
+        )
         while True:
             self._reap_children(conn)
             try:
@@ -197,13 +221,27 @@ class LibraryServer:
                 self.child_deadlines[pid] = time.monotonic() + float(timeout)
             return
         outcome = _serve_invocation_in(sandbox, fn, self.namespace)
+        times = outcome.get("times", {})
+        self.tracer.record(
+            "library_invoke",
+            task_id=str(task_id),
+            ok=bool(outcome.get("ok")),
+            mode="direct",
+            seconds=times.get("exec_time", 0.0),
+            invoc_overhead=times.get("invoc_overhead", 0.0),
+        )
+        from repro.engine.messages import attach_trace
+
         conn.send(
-            {
-                "type": "complete",
-                "task_id": task_id,
-                "ok": bool(outcome.get("ok")),
-                "times": outcome.get("times", {}),
-            }
+            attach_trace(
+                {
+                    "type": "complete",
+                    "task_id": task_id,
+                    "ok": bool(outcome.get("ok")),
+                    "times": times,
+                },
+                self.tracer,
+            )
         )
 
     def _kill_overdue_children(self) -> None:
@@ -230,7 +268,17 @@ class LibraryServer:
             frame["error"] = (
                 "fork-mode invocation exceeded its wall-clock timeout"
             )
-        return frame
+        # Fork-mode timings live in the child's result file; the parent
+        # only knows the outcome, so the event carries no span.
+        self.tracer.record(
+            "library_invoke",
+            task_id=str(task_id),
+            ok=bool(frame["ok"]),
+            mode="fork",
+        )
+        from repro.engine.messages import attach_trace
+
+        return attach_trace(frame, self.tracer)
 
     def _reap_children(self, conn) -> None:
         """Collect finished fork-mode invocations (the SIGCHLD path)."""
@@ -270,10 +318,18 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--socket", required=True, help="worker's unix socket path")
     parser.add_argument("--env-dir", default=None, help="unpacked environment directory")
     parser.add_argument("--sandbox", required=True, help="library sandbox directory")
+    parser.add_argument(
+        "--instance-id",
+        type=int,
+        default=0,
+        help="manager-assigned instance id (tags this process's trace events)",
+    )
     args = parser.parse_args(argv)
     os.chdir(args.sandbox)
     signal.signal(signal.SIGTERM, lambda *_: os._exit(0))
-    server = LibraryServer(args.spec, args.socket, args.env_dir)
+    server = LibraryServer(
+        args.spec, args.socket, args.env_dir, instance_id=args.instance_id
+    )
     return server.serve()
 
 

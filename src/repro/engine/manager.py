@@ -75,6 +75,8 @@ from repro.errors import (
     TaskRetryExhausted,
     WorkerError,
 )
+from repro.obs.metrics import MetricsRegistry, StatsShim
+from repro.obs.trace import get_tracer, merge_task_timeline
 from repro.serialize.core import deserialize, serialize
 from repro.util.logging import get_logger
 
@@ -195,8 +197,16 @@ class Manager:
         self._task_worker_key: Dict[int, str] = {}
         self._completed: Deque[Task] = collections.deque()
         self._closed = False
-        # Counters for experiments.
-        self.stats: Dict[str, float] = collections.defaultdict(float)
+        # Counters for experiments live in a metrics registry; the shim
+        # preserves the historical mapping interface (stats["x"] += 1).
+        self.metrics = MetricsRegistry()
+        self.stats = StatsShim(self.metrics)
+        # Structured lifecycle tracing (no-op unless REPRO_TRACE is set).
+        # Remote events piggyback on worker frames and are absorbed in
+        # _handle_one_worker_message, so this tracer's ring holds the
+        # merged manager+worker+library view.
+        self.tracer = get_tracer("manager")
+        self.placement.tracer = self.tracer
         self.log = get_logger("manager")
         self.log.info("listening on %s", self.address)
 
@@ -341,6 +351,9 @@ class Manager:
             self._ready_tasks.append(task)
             self._tasks_dirty = True
         self.stats["submitted"] += 1
+        self.tracer.record(
+            "task_submit", task_id=str(task.id), kind=type(task).__name__
+        )
         return task.id
 
     def empty(self) -> bool:
@@ -463,10 +476,19 @@ class Manager:
             if record.library.name == library_name
         ]
 
+    def trace_events(self, task_id: int | str | None = None) -> list:
+        """Merged trace events absorbed so far (manager, workers, libraries)."""
+        return self.tracer.events(None if task_id is None else str(task_id))
+
+    def task_timeline(self, task_id: int | str) -> list:
+        """Causally-ordered cross-process timeline for one task."""
+        return merge_task_timeline(self.tracer.events(), str(task_id))
+
     def close(self) -> None:
         if self._closed:
             return
         self._closed = True
+        self.tracer.flush()
         for link in list(self._workers.values()):
             try:
                 link.conn.send({"type": "shutdown"})
@@ -735,7 +757,17 @@ class Manager:
                 )
                 link.assumed.add(f.hash)
                 self.stats["peer_transfers"] += 1
-                self.stats["transfer_seconds"] += time.monotonic() - started
+                elapsed = time.monotonic() - started
+                self.stats["transfer_seconds"] += elapsed
+                self.tracer.record(
+                    "transfer_done",
+                    mode="peer",
+                    hash=f.hash,
+                    bytes=f.size,
+                    worker=link.name,
+                    source=holder.name,
+                    seconds=elapsed,
+                )
                 return
         data = self.store.read(f.hash)
         link.conn.send_buffered(
@@ -745,7 +777,16 @@ class Manager:
         link.assumed.add(f.hash)
         self.stats["manager_sends"] += 1
         self.stats["bytes_sent"] += len(data)
-        self.stats["transfer_seconds"] += time.monotonic() - started
+        elapsed = time.monotonic() - started
+        self.stats["transfer_seconds"] += elapsed
+        self.tracer.record(
+            "transfer_done",
+            mode="manager",
+            hash=f.hash,
+            bytes=len(data),
+            worker=link.name,
+            seconds=elapsed,
+        )
 
     def _dispatch_python_task(self, task: PythonTask) -> bool:
         worker = self.placement.place_task(
@@ -768,6 +809,7 @@ class Manager:
         # falling back to cloudpickle-by-value for lambdas and closures.
         from repro.serialize.source import capture_function
 
+        serialize_started = time.monotonic()
         payload = serialize(
             {
                 "code": capture_function(task.fn),
@@ -775,6 +817,7 @@ class Manager:
                 "kwargs": task.kwargs,
             }
         )
+        task.mark("overhead.code_serialize", time.monotonic() - serialize_started)
         header = {
             "type": "task",
             "task_id": task.id,
@@ -791,6 +834,9 @@ class Manager:
         task.mark("dispatched", time.monotonic())
         self._running[task.id] = task
         self._task_worker_key[task.id] = worker
+        self.tracer.record(
+            "task_dispatch", task_id=str(task.id), worker=worker, kind="task"
+        )
         return True
 
     def _dispatch_invocation(self, task: FunctionCall, inst: LibraryInstance) -> None:
@@ -802,9 +848,16 @@ class Manager:
         """
         library = self._libraries[task.library_name]
         link = self._link_for(inst.worker)
+        transfer_started = time.monotonic()
         for f in task.inputs:  # per-invocation input files, if any
             self._ensure_file(link, f)
+        if task.inputs:
+            task.mark(
+                "overhead.manager_transfer", time.monotonic() - transfer_started
+            )
+        serialize_started = time.monotonic()
         payload = serialize({"args": task.args, "kwargs": task.kwargs})
+        task.mark("overhead.code_serialize", time.monotonic() - serialize_started)
         mode = (task.exec_mode or library.exec_mode).value
         header = {
             "task_id": task.id,
@@ -823,6 +876,14 @@ class Manager:
         self._running[task.id] = task
         self._invocation_instance[task.id] = inst.instance_id
         self.stats["invocations_dispatched"] += 1
+        self.tracer.record(
+            "task_dispatch",
+            task_id=str(task.id),
+            worker=inst.worker,
+            kind="invocation",
+            library=task.library_name,
+            instance=inst.instance_id,
+        )
 
     def _deploy_library_somewhere(self, library: LibraryTask) -> bool:
         """Place and send one new instance of ``library``; False if nothing fits."""
@@ -895,6 +956,9 @@ class Manager:
             self._worker_lost(link)
             return
         link.last_seen = time.monotonic()
+        piggyback = message.get(messages.TRACE_KEY)
+        if piggyback:
+            self.tracer.absorb(piggyback)
         mtype = message.get("type")
         if mtype == "status":
             link.status = message.get("report", {})
@@ -1020,6 +1084,8 @@ class Manager:
             {f"overhead.{k}": v for k, v in times.items() if isinstance(v, float)}
         )
         task.overheads = times  # type: ignore[attr-defined]
+        if self.tracer.enabled:
+            self._record_task_cost(task, times, ok=bool(outcome.get("ok")))
         if outcome.get("ok"):
             task.set_result(outcome.get("value"))
         else:
@@ -1033,6 +1099,35 @@ class Manager:
         task.mark("completed", time.monotonic())
         self._completed.append(task)
         self.stats["completed"] += 1
+
+    def _record_task_cost(self, task: Task, times: Dict[str, Any], ok: bool) -> None:
+        """Consolidate one finished task into the paper's six cost components.
+
+        Sources: ``overhead.code_serialize`` / ``overhead.manager_transfer``
+        are stamped manager-side at dispatch; ``staging`` /
+        ``worker_overhead`` come from the worker; ``reload_overhead`` /
+        ``deserialize`` / ``invoc_overhead`` / ``exec_time`` from the
+        runner or library process.  Warm invocations show zero
+        dependency-install and environment-setup cost — that amortization
+        is the L3 claim this event exists to measure.
+        """
+        timeline = task.timeline
+        self.tracer.record(
+            "task_cost",
+            task_id=str(task.id),
+            ok=ok,
+            code_fetch=timeline.get("overhead.code_serialize", 0.0),
+            dependency_install=times.get("worker_overhead", 0.0),
+            data_transfer=(
+                timeline.get("overhead.manager_transfer", 0.0)
+                + times.get("staging", 0.0)
+            ),
+            env_setup=times.get("reload_overhead", 0.0),
+            deserialization=times.get(
+                "deserialize", times.get("invoc_overhead", 0.0)
+            ),
+            execute=times.get("exec_time", 0.0),
+        )
 
     def _on_task_failed(self, message: dict) -> None:
         task_id = int(message["task_id"])
@@ -1097,6 +1192,7 @@ class Manager:
         if link.name in self.placement.workers:
             self.placement.remove_worker(link.name)
         self.stats["workers_lost"] += 1
+        self.tracer.record("worker_lost", worker=link.name)
 
     def _requeue(self, task_id: int, blame: Optional[str] = None) -> None:
         task = self._running.pop(task_id, None)
@@ -1149,3 +1245,6 @@ class Manager:
             self._ready_tasks.appendleft(task)
             self._tasks_dirty = True
         self.stats["requeued"] += 1
+        self.tracer.record(
+            "task_retry", task_id=str(task.id), retries=task.retries, blame=blame
+        )

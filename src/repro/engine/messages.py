@@ -29,7 +29,23 @@ from typing import Any, Dict, List, Optional, Tuple
 from repro.errors import ProtocolError
 
 MAX_MESSAGE = 64 * 1024 * 1024  # sanity cap on a JSON frame
+# Key under which trace events piggyback on ordinary frames (worker
+# status/result frames, library ready/complete frames).  Receivers that
+# predate tracing ignore unknown keys, so the protocol is unchanged.
+TRACE_KEY = "trace"
 _HDR = 4
+
+
+def attach_trace(message: Dict[str, Any], tracer) -> Dict[str, Any]:
+    """Drain ``tracer``'s outbox into ``message`` for piggybacking.
+
+    No-op (and no key added) when tracing is disabled or the outbox is
+    empty, so the common frame stays byte-identical.
+    """
+    events = tracer.drain()
+    if events:
+        message[TRACE_KEY] = events
+    return message
 _RECV_CHUNK = 1 << 16  # read ahead in 64 KiB chunks; leftovers stay buffered
 _COMPACT_AT = 1 << 20  # drop consumed prefix once it exceeds 1 MiB
 

@@ -26,6 +26,7 @@ from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
 
 from repro.engine.resources import ResourcePool, Resources
 from repro.errors import SchedulingError
+from repro.obs.trace import NULL_TRACER
 from repro.util.hashing import content_hash
 
 
@@ -111,9 +112,12 @@ class WorkerSlot:
 class Placement:
     """Cluster-wide placement state and decisions."""
 
-    def __init__(self) -> None:
+    def __init__(self, tracer=None) -> None:
         self.ring = HashRing()
         self.workers: Dict[str, WorkerSlot] = {}
+        # Placement decisions are traced (library_place/library_remove);
+        # the owning manager swaps in its tracer after construction.
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self._next_instance = 1
         # library name -> {instance_id: instance} for every ready instance
         # with free_slots > 0.  Kept exact on every transition so
@@ -179,6 +183,13 @@ class Placement:
                     slots=slots,
                     resources=resources,
                 )
+                self.tracer.record(
+                    "library_place",
+                    library=library_name,
+                    worker=wname,
+                    instance=iid,
+                    slots=slots,
+                )
                 return wname, iid
         return None
 
@@ -197,6 +208,13 @@ class Placement:
         del slot.libraries[instance_id]
         self._unindex(inst)
         slot.pool.release(inst.resources)
+        self.tracer.record(
+            "library_remove",
+            library=inst.library_name,
+            worker=worker,
+            instance=instance_id,
+            served=inst.total_served,
+        )
         return inst
 
     # -- invocation placement ------------------------------------------------

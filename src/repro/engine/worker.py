@@ -37,6 +37,7 @@ from repro.engine.cache import WorkerCache
 from repro.engine.resources import Resources
 from repro.engine.sandbox import ARGS_FILE, RESULT_FILE, Sandbox
 from repro.errors import CacheError, EngineError, ProtocolError
+from repro.obs.trace import get_tracer
 from repro.util.logging import get_logger
 
 
@@ -168,10 +169,15 @@ class Worker:
         self.resources = Resources(cores=cores, memory=memory, disk=disk)
         self.workdir = os.path.abspath(workdir)
         os.makedirs(self.workdir, exist_ok=True)
+        # Forwarding tracer: every event (own and absorbed from hosted
+        # libraries) is queued in an outbox that _send piggybacks onto
+        # the next frame bound for the manager.
+        self.tracer = get_tracer(f"worker.{name}")
         self.cache = WorkerCache(
             os.path.join(self.workdir, "cache"),
             cache_capacity,
             on_evict=self._report_eviction,
+            tracer=self.tracer,
         )
         self.sandbox_root = os.path.join(self.workdir, "sandboxes")
         os.makedirs(self.sandbox_root, exist_ok=True)
@@ -192,10 +198,19 @@ class Worker:
         self._running = True
         self.log = get_logger(f"worker.{name}")
 
+    def _send(self, frame: Dict[str, Any], payload: bytes = b"") -> None:
+        """Send one frame to the manager, piggybacking queued trace events.
+
+        Results and failures therefore carry every worker/library event
+        recorded for that task *on the frame itself*, so the manager has
+        absorbed them before it consolidates the task's cost timeline.
+        """
+        self.manager.send(messages.attach_trace(frame, self.tracer), payload)
+
     def _report_eviction(self, digest: str) -> None:
         """Keep the manager's replica map truthful when the LRU evicts."""
         try:
-            self.manager.send(
+            self._send(
                 {"type": "cache_update", "hash": digest, "present": False}
             )
         except ProtocolError:
@@ -204,7 +219,7 @@ class Worker:
     # -- lifecycle ----------------------------------------------------------
     def register(self) -> None:
         self.transfer_server.start()
-        self.manager.send(
+        self._send(
             {
                 "type": "register",
                 "worker": self.name,
@@ -277,10 +292,11 @@ class Worker:
             ),
             "peer_bytes_served": self.transfer_server.bytes_served,
         }
-        self.manager.send({"type": "status", "report": report})
+        self._send({"type": "status", "report": report})
 
     def shutdown(self) -> None:
         self._running = False
+        self.tracer.flush()
         for handle in list(self.libraries.values()):
             self._terminate_library(handle)
         for running in list(self.tasks.values()):
@@ -307,13 +323,13 @@ class Worker:
     def _on_put_file(self, message: dict, payload: bytes) -> None:
         digest = message["hash"]
         self.cache.insert_bytes(digest, payload)
-        self.manager.send({"type": "cache_update", "hash": digest, "present": True})
+        self._send({"type": "cache_update", "hash": digest, "present": True})
 
     def _on_transfer(self, message: dict, payload: bytes) -> None:
         """Fetch a file from a peer worker (synchronous; peers serve from a thread)."""
         digest = message["hash"]
         if digest in self.cache:
-            self.manager.send({"type": "cache_update", "hash": digest, "present": True})
+            self._send({"type": "cache_update", "hash": digest, "present": True})
             return
         try:
             peer = messages.connect(message["host"], int(message["port"]), name="peer")
@@ -325,9 +341,9 @@ class Worker:
             if not reply.get("ok"):
                 raise EngineError(reply.get("error", "peer refused"))
             self.cache.insert_bytes(digest, data)
-            self.manager.send({"type": "cache_update", "hash": digest, "present": True})
+            self._send({"type": "cache_update", "hash": digest, "present": True})
         except Exception as exc:
-            self.manager.send(
+            self._send(
                 {
                     "type": "cache_update",
                     "hash": digest,
@@ -341,7 +357,7 @@ class Worker:
             self.cache.remove(message["hash"])
         except CacheError:
             pass
-        self.manager.send({"type": "cache_update", "hash": message["hash"], "present": False})
+        self._send({"type": "cache_update", "hash": message["hash"], "present": False})
 
     def _ensure_environment(self, env_hash: Optional[str]) -> tuple[Optional[str], float]:
         """Unpack a cached environment package once; return (dir, seconds_spent)."""
@@ -388,7 +404,7 @@ class Worker:
             )
         except Exception as exc:
             sandbox.destroy()
-            self.manager.send(
+            self._send(
                 {
                     "type": "task_failed",
                     "task_id": task_id,
@@ -408,6 +424,13 @@ class Worker:
             started,
             timeout=timeout,
             deadline=started + timeout if timeout else None,
+        )
+        self.tracer.record(
+            "stage_done",
+            task_id=str(task_id),
+            kind="task",
+            seconds=staging,
+            env_seconds=env_time,
         )
 
     def _on_library(self, message: dict, payload: bytes) -> None:
@@ -441,6 +464,8 @@ class Worker:
                 socket_path,
                 "--sandbox",
                 sandbox_dir,
+                "--instance-id",
+                str(instance_id),
             ]
             if env_dir:
                 cmd.extend(["--env-dir", env_dir])
@@ -452,7 +477,7 @@ class Worker:
             )
         except Exception as exc:
             shutil.rmtree(sandbox_dir, ignore_errors=True)
-            self.manager.send(
+            self._send(
                 {
                     "type": "library_failed",
                     "instance_id": instance_id,
@@ -473,6 +498,12 @@ class Worker:
         )
         self.libraries[instance_id] = handle
         self.selector.register(listener, selectors.EVENT_READ, ("lib-listener", handle))
+        self.tracer.record(
+            "library_spawn",
+            library=handle.library_name,
+            instance=instance_id,
+            seconds=handle.worker_overhead,
+        )
 
     def _library_socket_path(self, instance_id: int) -> str:
         path = os.path.join(self.socket_root, f"lib-{instance_id}.sock")
@@ -503,7 +534,7 @@ class Worker:
             # The instance died (timeout kill, crash) while this dispatch
             # was in flight; hand the invocation back for a retry rather
             # than failing it — the retry budget bounds the loop.
-            self.manager.send(
+            self._send(
                 {
                     "type": "task_failed",
                     "task_id": task_id,
@@ -519,6 +550,12 @@ class Worker:
             sandbox.stage(self.cache.path_of(item["hash"]), item["name"])
         handle.invocations[task_id] = sandbox
         handle.staging[task_id] = time.monotonic() - staging_started
+        self.tracer.record(
+            "stage_done",
+            task_id=str(task_id),
+            kind="invocation",
+            seconds=handle.staging[task_id],
+        )
         mode = message.get("mode", "direct")
         timeout = message.get("timeout")
         frame = {
@@ -570,7 +607,7 @@ class Worker:
             except subprocess.TimeoutExpired:
                 running.proc.kill()
         running.sandbox.destroy()
-        self.manager.send(
+        self._send(
             {
                 "type": "task_failed",
                 "task_id": task_id,
@@ -583,7 +620,7 @@ class Worker:
         handle = self.libraries.get(instance_id)
         if handle is not None:
             self._terminate_library(handle)
-        self.manager.send({"type": "library_removed", "instance_id": instance_id})
+        self._send({"type": "library_removed", "instance_id": instance_id})
 
     # -- library events -----------------------------------------------------------
     def _handle_library_message(self, handle: _LibraryHandle) -> None:
@@ -593,10 +630,16 @@ class Worker:
         except (ProtocolError, TimeoutError):
             self._library_died(handle)
             return
+        # Relay library-side trace events: absorb() on a forwarding
+        # tracer re-queues them, so the next manager-bound frame (often
+        # the result this message triggers) carries them upstream.
+        piggyback = message.get(messages.TRACE_KEY)
+        if piggyback:
+            self.tracer.absorb(piggyback)
         mtype = message.get("type")
         if mtype == "ready":
             handle.ready = True
-            self.manager.send(
+            self._send(
                 {
                     "type": "library_ready",
                     "instance_id": handle.instance_id,
@@ -610,7 +653,7 @@ class Worker:
                 handle.conn.send(invoke[0])
             handle.pending.clear()
         elif mtype == "startup_failed":
-            self.manager.send(
+            self._send(
                 {
                     "type": "library_failed",
                     "instance_id": handle.instance_id,
@@ -637,7 +680,7 @@ class Worker:
         times["worker_overhead"] = 0.0  # context was already resident
         if message.get("kind") != "timeout" and sandbox.exists(RESULT_FILE):
             data = sandbox.read(RESULT_FILE)
-            self.manager.send(
+            self._send(
                 {"type": "result", "task_id": task_id, "kind": "invocation", "times": times},
                 data,
             )
@@ -650,7 +693,7 @@ class Worker:
             }
             if message.get("kind") == "timeout":  # fork-mode child overran
                 failure["kind"] = "timeout"
-            self.manager.send(failure)
+            self._send(failure)
         sandbox.destroy()
 
     def _check_invocation_timeouts(self) -> None:
@@ -685,11 +728,20 @@ class Worker:
             "invocation %d exceeded its %.1fs timeout; killing library %d",
             task_id, timeout, handle.instance_id,
         )
+        self.tracer.record(
+            "task_timeout", task_id=str(task_id), timeout=timeout
+        )
+        self.tracer.record(
+            "task_kill",
+            task_id=str(task_id),
+            library=handle.library_name,
+            instance=handle.instance_id,
+        )
         if handle.proc.poll() is None:
             handle.proc.kill()
         sandbox = handle.invocations.pop(task_id, None)
         handle.staging.pop(task_id, None)
-        self.manager.send(
+        self._send(
             {
                 "type": "task_failed",
                 "task_id": task_id,
@@ -705,7 +757,7 @@ class Worker:
         for sibling in list(handle.invocations):
             handle.deadlines.pop(sibling, None)
             handle.staging.pop(sibling, None)
-            self.manager.send(
+            self._send(
                 {
                     "type": "task_failed",
                     "task_id": sibling,
@@ -714,7 +766,7 @@ class Worker:
                 }
             )
             handle.invocations.pop(sibling).destroy()
-        self.manager.send(
+        self._send(
             {
                 "type": "library_failed",
                 "instance_id": handle.instance_id,
@@ -729,7 +781,7 @@ class Worker:
         if handle.proc.poll() is not None and handle.proc.stderr is not None:
             stderr = handle.proc.stderr.read() or b""
         for task_id in list(handle.invocations):
-            self.manager.send(
+            self._send(
                 {
                     "type": "task_failed",
                     "task_id": task_id,
@@ -738,7 +790,7 @@ class Worker:
                 }
             )
             handle.invocations.pop(task_id).destroy()
-        self.manager.send(
+        self._send(
             {
                 "type": "library_failed",
                 "instance_id": handle.instance_id,
@@ -801,7 +853,7 @@ class Worker:
             }
             if code == 0 and running.sandbox.exists(RESULT_FILE):
                 data = running.sandbox.read(RESULT_FILE)
-                self.manager.send(
+                self._send(
                     {"type": "result", "task_id": task_id, "kind": "task", "times": times},
                     data,
                 )
@@ -809,7 +861,7 @@ class Worker:
                 stderr = b""
                 if running.proc.stderr is not None:
                     stderr = running.proc.stderr.read() or b""
-                self.manager.send(
+                self._send(
                     {
                         "type": "task_failed",
                         "task_id": task_id,
@@ -825,13 +877,16 @@ class Worker:
             "task %d exceeded its %.1fs timeout; killing its runner",
             running.task_id, running.timeout,
         )
+        self.tracer.record(
+            "task_timeout", task_id=str(running.task_id), timeout=running.timeout
+        )
         running.proc.kill()
         try:
             running.proc.wait(timeout=5.0)
         except subprocess.TimeoutExpired:
             pass
         del self.tasks[running.task_id]
-        self.manager.send(
+        self._send(
             {
                 "type": "task_failed",
                 "task_id": running.task_id,

@@ -1,0 +1,63 @@
+"""Observability: structured tracing, metrics, and trace export.
+
+The package has three layers:
+
+- :mod:`repro.obs.trace` -- per-process ``Tracer`` objects that record
+  typed lifecycle events into a bounded in-memory ring buffer.  Worker
+  and library events piggyback on existing wire frames back to the
+  manager, which assembles one causally-ordered timeline per task.
+- :mod:`repro.obs.metrics` -- counters, gauges, and fixed-bucket
+  histograms behind a ``MetricsRegistry``, plus a ``StatsShim`` that
+  keeps the historical ``manager.stats[...]`` mapping interface alive.
+- :mod:`repro.obs.export` -- Chrome ``trace_event`` JSON export
+  (viewable in Perfetto / chrome://tracing) and the per-invocation
+  six-component cost report from the paper.
+
+Tracing is disabled unless ``REPRO_TRACE`` is set in the environment;
+the disabled path hands out a shared ``NullTracer`` whose methods are
+no-ops so instrumented hot paths stay cheap.
+"""
+
+from repro.obs.trace import (
+    NullTracer,
+    TraceEvent,
+    Tracer,
+    get_tracer,
+    merge_task_timeline,
+    read_jsonl,
+    tracing_enabled,
+    write_jsonl,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    StatsShim,
+)
+from repro.obs.export import (
+    chrome_trace,
+    cost_components,
+    cost_report,
+    write_chrome_trace,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullTracer",
+    "StatsShim",
+    "TraceEvent",
+    "Tracer",
+    "chrome_trace",
+    "cost_components",
+    "cost_report",
+    "get_tracer",
+    "merge_task_timeline",
+    "read_jsonl",
+    "tracing_enabled",
+    "write_chrome_trace",
+    "write_jsonl",
+]

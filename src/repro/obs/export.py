@@ -1,0 +1,144 @@
+"""Trace export: Chrome ``trace_event`` JSON and the six-component cost report.
+
+The Chrome export is viewable in Perfetto (https://ui.perfetto.dev) or
+chrome://tracing.  Events that carry a ``seconds`` attribute become
+duration ``B``/``E`` pairs spanning ``[ts - seconds, ts]`` -- the engine
+stamps events when work *completes*, so the span is reconstructed
+backwards; everything else becomes an instant ``i`` event.  Each engine
+process maps to a trace pid and each task to a tid within it, so
+Perfetto renders one swim lane per in-flight task per process.
+
+The cost report decomposes every invocation into the paper's six cost
+components (PAPER.md section 5), taken from the manager's consolidated
+``task_cost`` events.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.obs.trace import TraceEvent, merge_task_timeline
+
+# The paper's per-invocation cost decomposition, in presentation order.
+COST_COMPONENTS = (
+    "code_fetch",
+    "dependency_install",
+    "data_transfer",
+    "env_setup",
+    "deserialization",
+    "execute",
+)
+
+
+def chrome_trace(events: Iterable[TraceEvent]) -> Dict[str, object]:
+    """Render events as a Chrome ``trace_event`` JSON object."""
+    ordered = merge_task_timeline(events)
+    trace: List[Dict[str, object]] = []
+    seen_procs: Dict[int, str] = {}
+    tids: Dict[Tuple[int, str], int] = {}
+    next_tid: Dict[int, int] = {}
+
+    def tid_for(pid: int, task_id: Optional[str]) -> int:
+        if task_id is None:
+            return 0
+        key = (pid, task_id)
+        tid = tids.get(key)
+        if tid is None:
+            tid = next_tid.get(pid, 1)
+            next_tid[pid] = tid + 1
+            tids[key] = tid
+            trace.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": tid,
+                    "args": {"name": task_id},
+                }
+            )
+        return tid
+
+    for event in ordered:
+        if event.pid not in seen_procs:
+            seen_procs[event.pid] = event.component
+            trace.append(
+                {
+                    "name": "process_name",
+                    "ph": "M",
+                    "pid": event.pid,
+                    "tid": 0,
+                    "args": {"name": f"{event.component}:{event.pid}"},
+                }
+            )
+        tid = tid_for(event.pid, event.task_id)
+        ts_us = event.ts * 1e6
+        seconds = event.attrs.get("seconds")
+        if isinstance(seconds, (int, float)) and seconds > 0:
+            common = {
+                "name": event.etype,
+                "cat": event.component,
+                "pid": event.pid,
+                "tid": tid,
+            }
+            trace.append(
+                {**common, "ph": "B", "ts": ts_us - seconds * 1e6, "args": dict(event.attrs)}
+            )
+            trace.append({**common, "ph": "E", "ts": ts_us})
+        else:
+            trace.append(
+                {
+                    "name": event.etype,
+                    "cat": event.component,
+                    "ph": "i",
+                    "s": "t",
+                    "ts": ts_us,
+                    "pid": event.pid,
+                    "tid": tid,
+                    "args": dict(event.attrs),
+                }
+            )
+
+    trace.sort(key=lambda e: (e["ph"] == "M" and -1 or 0, e.get("ts", 0)))
+    return {"traceEvents": trace, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(events: Iterable[TraceEvent], path: str) -> str:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(chrome_trace(events), fh)
+    return path
+
+
+def cost_components(event: TraceEvent) -> Dict[str, float]:
+    """The six-component breakdown carried by one ``task_cost`` event."""
+    return {k: float(event.attrs.get(k, 0.0)) for k in COST_COMPONENTS}
+
+
+def cost_report(events: Iterable[TraceEvent]) -> str:
+    """Text table: one row per invocation, six cost columns plus total."""
+    costs = [e for e in events if e.etype == "task_cost"]
+    header = ["task"] + [c[:14] for c in COST_COMPONENTS] + ["total"]
+    widths = [24] + [14] * (len(COST_COMPONENTS) + 1)
+    lines = [
+        "per-invocation cost breakdown (seconds)",
+        "  ".join(h.ljust(w) for h, w in zip(header, widths)).rstrip(),
+    ]
+    sums = {k: 0.0 for k in COST_COMPONENTS}
+    for event in costs:
+        comps = cost_components(event)
+        total = sum(comps.values())
+        for k, v in comps.items():
+            sums[k] += v
+        row = [str(event.task_id or "-").ljust(widths[0])]
+        row += [f"{comps[k]:.4f}".ljust(14) for k in COST_COMPONENTS]
+        row.append(f"{total:.4f}")
+        lines.append("  ".join(row).rstrip())
+    if costs:
+        n = len(costs)
+        row = ["mean".ljust(widths[0])]
+        row += [f"{sums[k] / n:.4f}".ljust(14) for k in COST_COMPONENTS]
+        row.append(f"{sum(sums.values()) / n:.4f}")
+        lines.append("  ".join(row).rstrip())
+    else:
+        lines.append("(no task_cost events recorded)")
+    return "\n".join(lines)

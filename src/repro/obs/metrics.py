@@ -1,0 +1,159 @@
+"""Counters, gauges, and fixed-bucket histograms.
+
+The engine historically kept ad-hoc ``collections.defaultdict(float)``
+stats dicts on ``Manager`` and plain int attributes on ``WorkerCache``.
+This module replaces both with named instruments in a
+``MetricsRegistry`` while ``StatsShim`` preserves the old mapping
+interface (``manager.stats["completed"] += 1``, ``.get()``, iteration)
+so existing tests and benchmarks keep working unchanged.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from collections.abc import MutableMapping
+from typing import Dict, Iterator, List, Optional, Sequence
+
+
+class Counter:
+    """Monotonic-by-convention float counter (the shim may also set it)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """A value that goes up and down (cache bytes in use, ready workers)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def add(self, amount: float) -> None:
+        self.value += amount
+
+
+# Default latency buckets, seconds: 1ms .. 30s, roughly base-3 spaced.
+DEFAULT_BUCKETS = (0.001, 0.003, 0.01, 0.03, 0.1, 0.3, 1.0, 3.0, 10.0, 30.0)
+
+
+class Histogram:
+    """Fixed-bucket histogram; the last bucket is the +inf overflow."""
+
+    __slots__ = ("name", "bounds", "counts", "sum", "count")
+
+    def __init__(self, name: str, buckets: Sequence[float] = DEFAULT_BUCKETS):
+        self.name = name
+        self.bounds: List[float] = sorted(buckets)
+        self.counts: List[int] = [0] * (len(self.bounds) + 1)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect.bisect_left(self.bounds, value)] += 1
+        self.sum += value
+        self.count += 1
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else math.nan
+
+
+class MetricsRegistry:
+    """Name-keyed factory and store for the three instrument kinds."""
+
+    def __init__(self):
+        self.counters: Dict[str, Counter] = {}
+        self.gauges: Dict[str, Gauge] = {}
+        self.histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        c = self.counters.get(name)
+        if c is None:
+            c = self.counters[name] = Counter(name)
+        return c
+
+    def gauge(self, name: str) -> Gauge:
+        g = self.gauges.get(name)
+        if g is None:
+            g = self.gauges[name] = Gauge(name)
+        return g
+
+    def histogram(
+        self, name: str, buckets: Optional[Sequence[float]] = None
+    ) -> Histogram:
+        h = self.histograms.get(name)
+        if h is None:
+            h = self.histograms[name] = Histogram(
+                name, buckets if buckets is not None else DEFAULT_BUCKETS
+            )
+        return h
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "counters": {n: c.value for n, c in self.counters.items()},
+            "gauges": {n: g.value for n, g in self.gauges.items()},
+            "histograms": {
+                n: {
+                    "bounds": list(h.bounds),
+                    "counts": list(h.counts),
+                    "sum": h.sum,
+                    "count": h.count,
+                }
+                for n, h in self.histograms.items()
+            },
+        }
+
+
+class StatsShim(MutableMapping):
+    """defaultdict(float)-compatible view over a registry's counters.
+
+    Reads of missing keys return ``0.0`` without creating the counter
+    (so probing in assertions doesn't pollute the registry); writes
+    create the counter on demand, which makes ``stats[k] += v`` behave
+    exactly like the old defaultdict.
+    """
+
+    def __init__(self, registry: MetricsRegistry, prefix: str = ""):
+        self._registry = registry
+        self._prefix = prefix
+
+    def _name(self, key: str) -> str:
+        return self._prefix + key
+
+    def __getitem__(self, key: str) -> float:
+        c = self._registry.counters.get(self._name(key))
+        return c.value if c is not None else 0.0
+
+    def __setitem__(self, key: str, value: float) -> None:
+        self._registry.counter(self._name(key)).value = value
+
+    def __delitem__(self, key: str) -> None:
+        del self._registry.counters[self._name(key)]
+
+    def __iter__(self) -> Iterator[str]:
+        p = self._prefix
+        for name in self._registry.counters:
+            if name.startswith(p):
+                yield name[len(p):]
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self)
+
+    def __contains__(self, key) -> bool:
+        return self._name(key) in self._registry.counters
+
+    def __repr__(self) -> str:
+        return f"StatsShim({dict(self)!r})"

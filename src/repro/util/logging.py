@@ -54,6 +54,17 @@ def get_logger(component: str) -> logging.Logger:
     return root.getChild(component)
 
 
+def trace_dir() -> str | None:
+    """Directory for per-component trace JSONL files, or ``None``.
+
+    Controlled by ``REPRO_TRACE_DIR``, the tracing counterpart of
+    ``REPRO_LOG``: child processes inherit the environment, so setting
+    it on the manager routes every component's flush to one run dir.
+    """
+    raw = os.environ.get("REPRO_TRACE_DIR", "").strip()
+    return raw or None
+
+
 def reset_for_tests() -> None:
     """Drop cached configuration so tests can exercise REPRO_LOG handling."""
     global _configured

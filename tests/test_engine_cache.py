@@ -153,3 +153,60 @@ def test_capacity_never_exceeded_property(tmp_path_factory, ops):
         except CacheError:
             pass
         assert cache.used_bytes() <= 100
+
+
+def _rescan_bytes(cache):
+    return sum(e.size for e in cache._entries.values())
+
+
+def _rescan_pinned(cache):
+    return sum(1 for e in cache._entries.values() if e.pins > 0)
+
+
+@settings(deadline=None, max_examples=40)
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.sampled_from(["insert", "dir", "pin", "unpin", "remove", "touch"]),
+            st.integers(min_value=0, max_value=7),
+            st.integers(min_value=1, max_value=50),
+        ),
+        max_size=60,
+    )
+)
+def test_aggregates_match_full_rescan_property(tmp_path_factory, ops):
+    """The O(1) running aggregates equal a from-scratch rescan.
+
+    ``_used_bytes`` and ``_pinned_entries`` are maintained incrementally
+    on every insert/register/pin/unpin/remove/evict transition so the
+    eviction loop stays O(1); whatever operation sequence Hypothesis
+    finds, they must equal what recounting ``_entries`` yields — and the
+    ``cache.used_bytes`` gauge must mirror the byte total.
+    """
+    root = tmp_path_factory.mktemp("agg")
+    cache = WorkerCache(str(root), capacity=120)
+    for op, key_id, size in ops:
+        digest = (format(key_id, "x") * 64)[:64]
+        try:
+            if op == "insert":
+                cache.insert_bytes(digest, bytes(size))
+            elif op == "dir":
+                dir_digest = digest[:-4] + ".dir"
+                path = root / f"unpacked-{key_id}"
+                path.mkdir(exist_ok=True)
+                cache.register_dir(dir_digest, str(path), size)
+            elif op == "pin":
+                cache.pin(digest)
+            elif op == "unpin":
+                cache.unpin(digest)
+            elif op == "remove":
+                cache.remove(digest)
+            elif op == "touch":
+                cache.probe(digest)
+        except CacheError:
+            pass
+        assert cache.used_bytes() == _rescan_bytes(cache)
+        assert cache._pinned_entries == _rescan_pinned(cache)
+        assert int(cache.metrics.gauge("cache.used_bytes").value) == cache.used_bytes()
+        if cache.capacity is not None:
+            assert cache.used_bytes() <= cache.capacity
