@@ -1,0 +1,100 @@
+"""Shared writer/reader for the committed ``BENCH_*.json`` baselines.
+
+Every regression-gated benchmark stores one flat JSON object of floats
+at the repo root (``BENCH_<name>.json``).  This module is the single
+place that knows the schema conventions — 4-decimal rounding, sorted
+keys, trailing newline — so refreshing any baseline always produces the
+same shape, and ``scripts/ci.sh`` can print a measured-vs-baseline
+delta with one helper instead of re-implementing the comparison per
+gate.
+
+Refresh a baseline after an intentional performance change with::
+
+    PYTHONPATH=src REPRO_WRITE_BASELINE=1 \
+        python -m pytest -q benchmarks/bench_dispatch_throughput.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, Optional, Tuple
+
+_REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), ".."))
+
+
+def baseline_path(name: str) -> str:
+    """Absolute path of the committed baseline file for ``name``."""
+    return os.path.join(_REPO_ROOT, f"BENCH_{name}.json")
+
+
+def load_baseline(name: str) -> Optional[Dict[str, float]]:
+    """The committed baseline values, or None when none is committed."""
+    try:
+        with open(baseline_path(name)) as fh:
+            return json.load(fh)
+    except FileNotFoundError:
+        return None
+
+
+def write_baseline(name: str, values: Dict[str, object]) -> str:
+    """Write ``values`` as the committed baseline (one flat JSON object).
+
+    Non-numeric entries (nested dicts, lists, strings) are dropped: the
+    baseline schema is flat floats only, so gates can compare any key.
+    """
+    flat = {
+        k: round(float(v), 4)
+        for k, v in values.items()
+        if isinstance(v, (int, float))
+    }
+    path = baseline_path(name)
+    with open(path, "w") as fh:
+        json.dump(flat, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path
+
+
+def maybe_write_baseline(name: str, values: Dict[str, object]) -> Optional[str]:
+    """Write the baseline when ``REPRO_WRITE_BASELINE`` is set."""
+    if os.environ.get("REPRO_WRITE_BASELINE", "") in ("", "0"):
+        return None
+    return write_baseline(name, values)
+
+
+def compare(
+    name: str,
+    values: Dict[str, object],
+    key: str,
+    *,
+    floor_ratio: float = 0.7,
+    size_key: str = "n",
+) -> Tuple[bool, str]:
+    """Gate ``values[key]`` against the committed baseline.
+
+    Returns ``(ok, message)``; the message always states the measured
+    value, the baseline, and the delta.  Passes trivially (with a
+    skip message) when no baseline is committed or the workload size
+    under ``size_key`` differs from the baseline's (e.g. smoke vs
+    REPRO_BENCH_FULL runs are not comparable).
+    """
+    base = load_baseline(name)
+    if base is None:
+        return True, f"no BENCH_{name}.json baseline committed; skipping gate"
+    if size_key in base and int(base[size_key]) != int(float(values[size_key])):
+        return True, (
+            f"baseline {size_key}={base[size_key]:.0f} differs from measured "
+            f"{size_key}={float(values[size_key]):.0f} "
+            "(REPRO_BENCH_FULL mismatch?); skipping gate"
+        )
+    measured = float(values[key])
+    reference = float(base[key])
+    floor = floor_ratio * reference
+    delta_pct = 100.0 * (measured - reference) / reference if reference else 0.0
+    detail = (
+        f"{key}: measured {measured:.1f} vs baseline {reference:.1f} "
+        f"({delta_pct:+.1f}%), floor {floor:.1f}"
+    )
+    if measured < floor:
+        return False, f"FAIL: regressed past the {floor_ratio:.0%} floor — {detail}"
+    return True, f"OK: {detail}"

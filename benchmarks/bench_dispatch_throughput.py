@@ -11,12 +11,9 @@ committed regression baseline (``BENCH_dispatch.json`` at the repo
 root, consumed by ``scripts/ci.sh``), set ``REPRO_WRITE_BASELINE=1``.
 """
 
-import json
-import os
+import _baseline
 
 from repro.bench import dispatch_throughput
-
-_BASELINE = os.path.join(os.path.dirname(__file__), "..", "BENCH_dispatch.json")
 
 
 def test_dispatch_throughput(benchmark, show):
@@ -32,12 +29,4 @@ def test_dispatch_throughput(benchmark, show):
     # by the total queue length: with n >> workers*slots, a scan-driven
     # manager averages O(n) visits per round, the indexed one O(slots).
     assert v["scan_per_round"] < v["n"] / 10
-    if os.environ.get("REPRO_WRITE_BASELINE", "") not in ("", "0"):
-        with open(_BASELINE, "w") as fh:
-            json.dump(
-                {k: round(val, 4) for k, val in v.items()},
-                fh,
-                indent=2,
-                sort_keys=True,
-            )
-            fh.write("\n")
+    _baseline.maybe_write_baseline("dispatch", v)

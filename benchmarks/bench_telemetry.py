@@ -1,0 +1,36 @@
+"""Telemetry-pipeline benchmark: the live-observability path end to end.
+
+Not a paper table: this guards the PR-5 telemetry layer.  A mixed
+library + task workload runs on the real engine with the perflog
+sampler, transaction log, worker heartbeats, and the ``/metrics`` +
+``/status`` HTTP server all enabled; the server is scraped mid-run with
+a strict Prometheus text parser.  The assertions pin the acceptance
+properties: the perflog parses, carries a non-trivial ``tasks_running``
+series, and the warm/cold classifier sees library invocations mostly
+warm while plain tasks are always cold.
+
+Set ``REPRO_WRITE_BASELINE=1`` to refresh ``BENCH_telemetry.json``.
+"""
+
+import _baseline
+
+from repro.bench import telemetry_workload
+
+
+def test_telemetry_workload(benchmark, show, smoke):
+    result = benchmark.pedantic(telemetry_workload, rounds=1, iterations=1)
+    show(result)
+    v = result.values
+    assert v["completed"] == v["n"]
+    # The sampler must have produced a real time series, not one final
+    # snapshot, and the mid-run scrape must have parsed as Prometheus
+    # text exposition (parse_prometheus raises on malformed output).
+    assert v["perflog_samples"] >= 10
+    assert v["metric_samples"] > 0
+    assert v["status_workers"] == 2
+    # Plain PythonTasks always reload context (cold); library invocations
+    # after the first per instance reuse it (warm).
+    warm = v["warm_ratio"]
+    assert warm["<tasks>"] == 0.0
+    assert warm["telemetry-bench"] > 0.5
+    _baseline.maybe_write_baseline("telemetry", v)

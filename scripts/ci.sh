@@ -2,7 +2,8 @@
 # Repo CI gate: tier-1 test suite + fault-injection suite + chaos smoke
 # + benchmark smoke (every bench_*.py at ≤200 invocations) + dispatch-
 # throughput smoke with a regression check against the committed
-# baseline (BENCH_dispatch.json).
+# baseline (BENCH_dispatch.json) + telemetry smoke (perflog/statusd
+# pipeline end to end, with a sampler-overhead budget).
 #
 # Usage:  scripts/ci.sh
 #
@@ -31,8 +32,10 @@ SMOKE_CAP="${CI_SMOKE_CAP:-600}"
 # ~40% on this single-CPU host and false-fails the regression gate.
 echo "== dispatch-throughput smoke (cap ${BENCH_CAP}s) =="
 timeout --signal=TERM --kill-after=30 "$BENCH_CAP" python - <<'GATE'
-import json
 import sys
+
+sys.path.insert(0, "benchmarks")
+import _baseline
 
 from repro.bench import dispatch_throughput
 
@@ -43,33 +46,19 @@ if v["failed"]:
     print(f"FAIL: {v['failed']} invocations failed")
     sys.exit(1)
 
-try:
-    with open("BENCH_dispatch.json") as fh:
-        base = json.load(fh)
-except FileNotFoundError:
-    print("no BENCH_dispatch.json baseline committed; skipping regression gate")
-    sys.exit(0)
-
-if int(base.get("n", -1)) != int(v["n"]):
-    print(
-        f"baseline n={base.get('n')} differs from smoke n={v['n']} "
-        "(REPRO_BENCH_FULL mismatch?); skipping regression gate"
-    )
-    sys.exit(0)
-
-floor = 0.7 * base["invocations_per_second"]
-if v["invocations_per_second"] < floor:
-    print(
-        f"FAIL: dispatch throughput regressed >30%: "
-        f"{v['invocations_per_second']:.1f} inv/s vs baseline "
-        f"{base['invocations_per_second']:.1f} inv/s (floor {floor:.1f})"
-    )
-    sys.exit(1)
-print(
-    f"OK: {v['invocations_per_second']:.1f} inv/s "
-    f"(baseline {base['invocations_per_second']:.1f}, floor {floor:.1f})"
+ok, message = _baseline.compare(
+    "dispatch", v, "invocations_per_second", floor_ratio=0.7
 )
+print(message)
+sys.exit(0 if ok else 1)
 GATE
+
+# Live-telemetry pipeline: perflog sampler + txn log + /metrics and
+# /status server scraped mid-run, then the same workload timed with
+# telemetry on vs off (budget: CI_TELEMETRY_OVERHEAD_PCT, default 2%).
+echo "== telemetry smoke (cap ${BENCH_CAP}s) =="
+timeout --signal=TERM --kill-after=30 "$BENCH_CAP" \
+    python scripts/telemetry_smoke.py
 
 echo "== tier-1 test suite (cap ${TIER1_CAP}s) =="
 timeout --signal=TERM --kill-after=30 "$TIER1_CAP" python -m pytest -x -q

@@ -1,0 +1,138 @@
+"""Telemetry smoke stage for scripts/ci.sh.
+
+Two checks, both against the real engine:
+
+1. **Pipeline smoke** — run a small library workload with the perflog
+   sampler and the ``/metrics``+``/status`` status server enabled,
+   scrape the server mid-run (strict Prometheus text parser), and
+   assert the perflog parses as a genuine time series: ≥10 samples,
+   strictly monotonic timestamps, stable field set, and a non-constant
+   ``tasks_running`` series.
+
+2. **Overhead gate** — time the same workload with telemetry fully ON
+   vs fully OFF (best-of-2 each, interleaved to share scheduler noise)
+   and fail if ON is more than ``CI_TELEMETRY_OVERHEAD_PCT`` (default
+   2.0) percent slower.  This pins the design promise that the sampler
+   plus buffered transaction log stay invisible next to dispatch work.
+
+Usage:  PYTHONPATH=src python scripts/telemetry_smoke.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import tempfile
+import time
+import urllib.request
+
+from repro.engine.factory import LocalWorkerFactory
+from repro.engine.manager import Manager
+from repro.engine.task import FunctionCall, TaskState
+from repro.obs.perflog import SAMPLE_FIELDS, read_perflog
+from repro.obs.statusd import parse_prometheus
+
+N_INVOCATIONS = int(os.environ.get("CI_TELEMETRY_N", "200"))
+OVERHEAD_PCT = float(os.environ.get("CI_TELEMETRY_OVERHEAD_PCT", "2.0"))
+
+
+def _noop(x):
+    return x
+
+
+def _run_workload(n: int, *, perflog_dir=None, status_port=None, scrape=False):
+    """One manager+2 workers library run; returns (seconds, scrape dict)."""
+    scraped = {}
+    started = time.monotonic()
+    with Manager(
+        perflog_dir=perflog_dir,
+        perflog_interval=0.05 if perflog_dir else None,
+        status_port=status_port,
+    ) as manager:
+        library = manager.create_library_from_functions(
+            "telemetry-smoke", _noop, function_slots=4
+        )
+        manager.install_library(library)
+        with LocalWorkerFactory(manager, count=2, cores=4, status_interval=0.2):
+            calls = [
+                FunctionCall("telemetry-smoke", "_noop", i) for i in range(n)
+            ]
+            for call in calls:
+                manager.submit(call)
+            if scrape:
+                manager.wait_all(calls[: n // 2], timeout=300.0)
+                url = manager.status_server.url
+                with urllib.request.urlopen(url + "/metrics", timeout=10) as rsp:
+                    scraped["metrics"] = rsp.read().decode("utf-8")
+                with urllib.request.urlopen(url + "/status", timeout=10) as rsp:
+                    scraped["status"] = json.loads(rsp.read().decode("utf-8"))
+            manager.wait_all(calls, timeout=300.0)
+            bad = [c for c in calls if c.state is not TaskState.DONE]
+            if bad:
+                raise SystemExit(f"FAIL: {len(bad)} invocations did not complete")
+        if perflog_dir:
+            scraped["perflog_path"] = manager.perflog.perflog_path
+    return time.monotonic() - started, scraped
+
+
+def smoke() -> None:
+    with tempfile.TemporaryDirectory(prefix="repro-telemetry-smoke-") as tmp:
+        _, scraped = _run_workload(
+            N_INVOCATIONS, perflog_dir=tmp, status_port=0, scrape=True
+        )
+        samples = parse_prometheus(scraped["metrics"])
+        if not samples:
+            raise SystemExit("FAIL: /metrics scrape yielded no samples")
+        workers = scraped["status"].get("workers", {})
+        if len(workers) != 2:
+            raise SystemExit(f"FAIL: /status saw {len(workers)} workers, wanted 2")
+        perflog = read_perflog(scraped["perflog_path"])
+        if len(perflog) < 10:
+            raise SystemExit(f"FAIL: only {len(perflog)} perflog samples, wanted >=10")
+        stamps = [s["ts"] for s in perflog]
+        if stamps != sorted(stamps) or len(set(stamps)) != len(stamps):
+            raise SystemExit("FAIL: perflog timestamps are not strictly monotonic")
+        for i, sample in enumerate(perflog):
+            if set(sample) != set(SAMPLE_FIELDS):
+                raise SystemExit(f"FAIL: perflog sample {i} has a drifted field set")
+        running = {s["tasks_running"] for s in perflog}
+        if len(running) < 2:
+            raise SystemExit("FAIL: tasks_running series is constant")
+        print(
+            f"smoke OK: {len(samples)} Prometheus samples, "
+            f"{len(workers)} workers in /status, {len(perflog)} perflog samples, "
+            f"tasks_running peak {max(running):.0f}"
+        )
+
+
+def overhead_gate() -> None:
+    # Interleave OFF/ON pairs so both modes see similar scheduler noise;
+    # best-of-2 discards the slower (noisier) run of each mode.
+    times = {"off": [], "on": []}
+    with tempfile.TemporaryDirectory(prefix="repro-telemetry-ovh-") as tmp:
+        for _ in range(2):
+            t_off, _ = _run_workload(N_INVOCATIONS)
+            times["off"].append(t_off)
+            t_on, _ = _run_workload(N_INVOCATIONS, perflog_dir=tmp, status_port=0)
+            times["on"].append(t_on)
+    best_off, best_on = min(times["off"]), min(times["on"])
+    overhead = 100.0 * (best_on - best_off) / best_off
+    verdict = "OK" if overhead <= OVERHEAD_PCT else "FAIL"
+    print(
+        f"{verdict}: telemetry overhead {overhead:+.2f}% "
+        f"(best-of-2: on {best_on:.3f}s vs off {best_off:.3f}s, "
+        f"budget {OVERHEAD_PCT:.1f}%)"
+    )
+    if verdict == "FAIL":
+        raise SystemExit(1)
+
+
+def main() -> int:
+    smoke()
+    overhead_gate()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -23,6 +23,7 @@ from repro.bench.experiments import (
     table2_overhead,
     table4_runtime_stats,
     table5_overhead_breakdown,
+    telemetry_workload,
     trace_workload,
 )
 
@@ -43,5 +44,6 @@ __all__ = [
     "ablation_library_slots",
     "ablation_sim_distribution",
     "extension_examol_l3",
+    "telemetry_workload",
     "trace_workload",
 ]

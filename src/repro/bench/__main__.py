@@ -38,9 +38,11 @@ EXPERIMENTS: Dict[str, Callable[..., object]] = {
     "extension_examol_l3": lambda n: experiments.extension_examol_l3(),
 }
 
-# ``trace`` is not part of "all": it drives the real engine with tracing
-# enabled and writes a file, so it only runs when asked for by name.
+# ``trace`` and ``telemetry`` are not part of "all": they drive the real
+# engine with observability features enabled (and the trace writes a
+# file), so they only run when asked for by name.
 TRACE_EXPERIMENT = "trace"
+TELEMETRY_EXPERIMENT = "telemetry"
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -62,11 +64,15 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
     if args.list:
-        for name in [*EXPERIMENTS, TRACE_EXPERIMENT]:
+        for name in [*EXPERIMENTS, TRACE_EXPERIMENT, TELEMETRY_EXPERIMENT]:
             print(name)
         return 0
     chosen = list(EXPERIMENTS) if "all" in args.experiments else args.experiments
-    unknown = [c for c in chosen if c not in EXPERIMENTS and c != TRACE_EXPERIMENT]
+    unknown = [
+        c
+        for c in chosen
+        if c not in EXPERIMENTS and c not in (TRACE_EXPERIMENT, TELEMETRY_EXPERIMENT)
+    ]
     if unknown:
         parser.error(f"unknown experiments: {unknown}; use --list")
     n = 10_000 if args.quick else 100_000
@@ -74,6 +80,8 @@ def main(argv: list[str] | None = None) -> int:
         started = time.monotonic()
         if name == TRACE_EXPERIMENT:
             result = experiments.trace_workload(out_path=args.out)
+        elif name == TELEMETRY_EXPERIMENT:
+            result = experiments.telemetry_workload()
         else:
             result = EXPERIMENTS[name](n)
         elapsed = time.monotonic() - started

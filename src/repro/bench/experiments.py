@@ -39,6 +39,20 @@ def _cap(n: int) -> int:
     return min(n, _SMOKE_CAP) if _SMOKE else n
 
 
+def _perflog_path(name: str) -> str | None:
+    """Perflog destination for a simulator harness, or None when off.
+
+    The fig6-11 harnesses emit a time-series performance log per
+    simulated run when ``REPRO_PERFLOG_DIR`` is set, so any table or
+    figure regeneration doubles as input for
+    ``python -m repro.obs report``.
+    """
+    directory = os.environ.get("REPRO_PERFLOG_DIR")
+    if not directory:
+        return None
+    return os.path.join(directory, f"perflog-sim-{name}.jsonl")
+
+
 def _simple_add(a: int, b: int) -> int:
     return a + b
 
@@ -352,13 +366,17 @@ def lnni_levels(
     n_invocations = _cap(n_invocations)
     out = {}
     for level in levels:
-        key = (level, n_invocations, n_workers, inferences)
+        perflog = _perflog_path(
+            f"lnni-{level.value}-{n_invocations}x{inferences}-w{n_workers}"
+        )
+        key = (level, n_invocations, n_workers, inferences, perflog)
         if key not in _lnni_cache:
             _lnni_cache[key] = run_lnni(
                 level,
                 n_invocations=n_invocations,
                 inferences_per_invocation=inferences,
                 n_workers=n_workers,
+                perflog=perflog,
             )
         out[level.value] = _lnni_cache[key]
     return out
@@ -378,7 +396,11 @@ def fig6_execution_times(
     ]
     values = {f"lnni_{level}": res.makespan for level, res in lnni.items()}
     for level in (ReuseLevel.L1, ReuseLevel.L2):  # paper evaluates ExaMol at L1/L2
-        res = run_examol(level, n_tasks=examol_tasks)
+        res = run_examol(
+            level,
+            n_tasks=examol_tasks,
+            perflog=_perflog_path(f"examol-{level.value}-{examol_tasks}"),
+        )
         rows.append([f"ExaMol-{examol_tasks // 1000}k", level.value, f"{res.makespan:.0f}"])
         values[f"examol_{level.value}"] = res.makespan
     lnni_redn = 100.0 * (1.0 - values["lnni_L3"] / values["lnni_L1"])
@@ -458,6 +480,9 @@ def fig8_invocation_length_sweep(n_invocations: int = 10_000) -> TableResult:
                 n_invocations=n_invocations,
                 inferences_per_invocation=inferences,
                 n_workers=100,
+                perflog=_perflog_path(
+                    f"fig8-{level.value}-{inferences}inf-{n_invocations}"
+                ),
             )
             makespans[level.value] = res.makespan
             values[f"{level.value}_{inferences}"] = res.makespan
@@ -502,6 +527,9 @@ def fig9_worker_sweep(n_invocations: int = 10_000) -> TableResult:
                 n_invocations=n_invocations,
                 n_workers=n_workers,
                 exclude_groups=exclude,
+                perflog=_perflog_path(
+                    f"fig9-{level.value}-w{n_workers}-{n_invocations}"
+                ),
             )
             cells.append(f"{res.makespan:.0f}")
             values[f"{level.value}_{n_workers}"] = res.makespan
@@ -897,4 +925,103 @@ def trace_workload(
             "out_path": out_path,
         },
         paper_reference="§4.7 / Table 5: per-invocation cost decomposition",
+    )
+
+
+# --------------------------------------------------------- Telemetry harness
+def _telemetry_fn(x):
+    return x * 2
+
+
+def telemetry_workload(
+    n_invocations: int = 40,
+    n_tasks: int = 4,
+    out_dir: str | None = None,
+) -> TableResult:
+    """Run a mixed workload with the full live-telemetry pipeline on.
+
+    Drives the real engine with the performance-log sampler, the
+    transaction log, worker resource heartbeats, and the ``/metrics`` +
+    ``/status`` HTTP status server all enabled; scrapes the server
+    mid-run (like a Prometheus poller would), then renders the run
+    report from the perflog it produced.  This is the end-to-end
+    exercise of everything ``REPRO_PERFLOG_DIR`` / ``REPRO_STATUS_PORT``
+    turn on.
+    """
+    import json as _json
+    import tempfile
+    import urllib.request
+
+    from repro.obs.perflog import read_perflog
+    from repro.obs.report import run_report, warm_cold_by_context
+    from repro.obs.statusd import parse_prometheus
+
+    n_invocations = _cap(n_invocations)
+    n_tasks = _cap(n_tasks)
+    tmp_ctx = None
+    if out_dir is None:
+        tmp_ctx = tempfile.TemporaryDirectory(prefix="repro-telemetry-")
+        out_dir = tmp_ctx.name
+    try:
+        with Manager(
+            perflog_dir=out_dir, perflog_interval=0.05, status_port=0
+        ) as manager:
+            library = manager.create_library_from_functions(
+                "telemetry-bench", _telemetry_fn, function_slots=2
+            )
+            manager.install_library(library)
+            with LocalWorkerFactory(manager, count=2, status_interval=0.2):
+                calls = [
+                    FunctionCall("telemetry-bench", "_telemetry_fn", i)
+                    for i in range(n_invocations)
+                ]
+                tasks = [PythonTask(_telemetry_fn, i) for i in range(n_tasks)]
+                for work in [*calls, *tasks]:
+                    manager.submit(work)
+                # Scrape mid-run, the way an external poller would.
+                base_url = manager.status_server.url
+                manager.wait_all(calls[: n_invocations // 2], timeout=300.0)
+                with urllib.request.urlopen(base_url + "/metrics", timeout=10) as rsp:
+                    metric_samples = parse_prometheus(rsp.read().decode("utf-8"))
+                with urllib.request.urlopen(base_url + "/status", timeout=10) as rsp:
+                    status_doc = _json.loads(rsp.read().decode("utf-8"))
+                manager.wait_all([*calls, *tasks], timeout=300.0)
+            done = sum(
+                1 for w in [*calls, *tasks] if w.state is TaskState.DONE
+            )
+            perflog_path = manager.perflog.perflog_path
+            txnlog_path = manager.perflog.txnlog_path
+        samples = read_perflog(perflog_path)
+        transactions = read_perflog(txnlog_path)
+        report = run_report(samples, transactions)
+    finally:
+        if tmp_ctx is not None:
+            tmp_ctx.cleanup()
+
+    warm_cold = warm_cold_by_context(samples)
+    values: Dict[str, object] = {
+        "n": float(n_invocations + n_tasks),
+        "completed": float(done),
+        "perflog_samples": float(len(samples)),
+        "transactions": float(len(transactions)),
+        "metric_samples": float(len(metric_samples)),
+        "status_workers": float(len(status_doc.get("workers", {}))),
+        "warm_ratio": {
+            ctx: row["warm_ratio"] for ctx, row in warm_cold.items()
+        },
+    }
+    text = (
+        f"scraped {base_url}/metrics mid-run: {len(metric_samples)} Prometheus "
+        f"samples; /status saw {len(status_doc.get('workers', {}))} workers\n"
+        f"perflog: {len(samples)} samples, txnlog: {len(transactions)} "
+        f"transitions\n\n" + report
+    )
+    return TableResult(
+        experiment="telemetry",
+        text=text,
+        values=values,
+        paper_reference=(
+            "not a paper table: live observability for the runs behind "
+            "Figs 6-11 (TaskVine-style performance + transaction logs)"
+        ),
     )

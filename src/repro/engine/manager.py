@@ -76,6 +76,9 @@ from repro.errors import (
     WorkerError,
 )
 from repro.obs.metrics import MetricsRegistry, StatsShim
+from repro.obs.perflog import get_perflog, make_sample
+from repro.obs.statusd import StatusServer
+from repro.obs.statusd import status_port as _env_status_port
 from repro.obs.trace import get_tracer, merge_task_timeline
 from repro.serialize.core import deserialize, serialize
 from repro.util.logging import get_logger
@@ -132,6 +135,20 @@ class Manager:
         Base and cap of the exponential redispatch backoff applied to a
         requeued task (``retry_backoff * 2**(retries-1)`` seconds,
         capped at ``retry_backoff_max``).
+    perflog_dir:
+        Directory for the live telemetry logs (``perflog-manager.jsonl``
+        time series + ``txnlog-manager.jsonl`` state transitions).
+        Defaults to ``REPRO_PERFLOG_DIR``; with neither set the sampler
+        is a shared no-op (``NullPerfLog``) and costs one no-op call per
+        event-loop tick.
+    perflog_interval:
+        Sampler cadence in seconds (default ``REPRO_PERFLOG_INTERVAL``
+        or 0.25).
+    status_port:
+        Start the ``/metrics`` + ``/status`` HTTP status server on this
+        port (0 = ephemeral; read ``manager.status_server.port``).
+        Defaults to ``REPRO_STATUS_PORT``; with neither set no server
+        thread is created.
     """
 
     def __init__(
@@ -146,6 +163,9 @@ class Manager:
         max_retries: int = 3,
         retry_backoff: float = 0.25,
         retry_backoff_max: float = 5.0,
+        perflog_dir: str | None = None,
+        perflog_interval: float | None = None,
+        status_port: int | None = None,
     ):
         self.name = name
         self.transfer_mode = transfer_mode
@@ -207,8 +227,30 @@ class Manager:
         # merged manager+worker+library view.
         self.tracer = get_tracer("manager")
         self.placement.tracer = self.tracer
+        # Live telemetry (all off by default, see the perflog/statusd
+        # docstrings): the perflog sampler ticks in _advance, warm/cold
+        # classification happens at dispatch, and worker heartbeats fold
+        # into per-worker gauges on every status frame.
+        self.perflog = get_perflog(
+            "manager", directory=perflog_dir, interval=perflog_interval
+        )
+        # context name -> {"warm": n, "cold": n}; an invocation is warm
+        # when its instance has already served work (the retained-context
+        # hit the paper's L3 exists for), cold on a fresh instance.
+        # PythonTasks reload their context every time, hence always cold.
+        self._warm_cold: Dict[str, Dict[str, int]] = {}
+        self._perflog_prev: tuple[float, float] | None = None
+        self._hist_execute = self.metrics.histogram("task.execute_seconds")
+        self.status_server: StatusServer | None = None
+        resolved_port = status_port if status_port is not None else _env_status_port()
+        if resolved_port is not None:
+            self.status_server = StatusServer(
+                self._metrics_snapshot, self._status_document, port=resolved_port
+            ).start()
         self.log = get_logger("manager")
         self.log.info("listening on %s", self.address)
+        if self.status_server is not None:
+            self.log.info("status server on %s", self.status_server.url)
 
     # ------------------------------------------------------------------ API
     @property
@@ -351,6 +393,9 @@ class Manager:
             self._ready_tasks.append(task)
             self._tasks_dirty = True
         self.stats["submitted"] += 1
+        self.perflog.transition(
+            "task_submit", task=task.id, kind=type(task).__name__
+        )
         self.tracer.record(
             "task_submit", task_id=str(task.id), kind=type(task).__name__
         )
@@ -466,6 +511,121 @@ class Manager:
         report periodically (§2.1.3's resource accounting)."""
         return {name: dict(link.status) for name, link in self._workers.items()}
 
+    # ------------------------------------------------------- live telemetry
+    def _note_warm_cold(self, context: str, warm: bool) -> None:
+        entry = self._warm_cold.get(context)
+        if entry is None:
+            entry = self._warm_cold[context] = {"warm": 0, "cold": 0}
+        entry["warm" if warm else "cold"] += 1
+
+    def _context_snapshot(self) -> Dict[str, Dict[str, int]]:
+        """Per-context occupancy merged with cumulative warm/cold counts."""
+        contexts = self.placement.occupancy_snapshot()
+        for name, counts in self._warm_cold.items():
+            ctx = contexts.setdefault(
+                name,
+                {"instances": 0, "ready": 0, "slots": 0, "used_slots": 0, "served": 0},
+            )
+            ctx["warm"] = counts["warm"]
+            ctx["cold"] = counts["cold"]
+        for ctx in contexts.values():
+            ctx.setdefault("warm", 0)
+            ctx.setdefault("cold", 0)
+        return contexts
+
+    def _perflog_snapshot(self) -> Dict[str, Any]:
+        """One perflog sample from the manager's bookkeeping (cheap reads)."""
+        now = time.monotonic()
+        cache_bytes = cache_pinned = rss = busy = 0
+        for link in self._workers.values():
+            report = link.status
+            cache_bytes += int(report.get("cache_bytes", 0) or 0)
+            cache_pinned += int(report.get("cache_pinned", 0) or 0)
+            rss += int(report.get("rss_bytes", 0) or 0)
+            busy += int(report.get("busy_slots", 0) or 0)
+        dispatched = (
+            self.stats["invocations_dispatched"] + self.stats["tasks_dispatched"]
+        )
+        rate = 0.0
+        if self._perflog_prev is not None:
+            prev_now, prev_dispatched = self._perflog_prev
+            if now > prev_now:
+                rate = (dispatched - prev_dispatched) / (now - prev_now)
+        self._perflog_prev = (now, dispatched)
+        queue_depths = {
+            name: len(q) for name, q in self._pending_invocations.items() if q
+        }
+        if self._ready_tasks:
+            queue_depths["<tasks>"] = len(self._ready_tasks)
+        return make_sample(
+            tasks_waiting=len(self._ready_tasks)
+            + sum(len(q) for q in self._pending_invocations.values()),
+            tasks_running=len(self._running),
+            tasks_done=self.stats["completed"],
+            tasks_failed=self.stats["failed"],
+            tasks_retried=self.stats["requeued"],
+            workers_connected=len(self._workers),
+            workers_lost=self.stats["workers_lost"],
+            libraries_active=len(self._instances),
+            cache_bytes=cache_bytes,
+            cache_pinned=cache_pinned,
+            rss_bytes=rss,
+            busy_slots=busy,
+            dispatch_rate=rate,
+            queue_depths=queue_depths,
+            contexts=self._context_snapshot(),
+        )
+
+    def _metrics_snapshot(self) -> Dict[str, Any]:
+        """Registry snapshot for /metrics; runs on the status-server thread.
+
+        The main loop may create instruments mid-iteration, so retry the
+        (cheap, read-only) snapshot on the resulting RuntimeError instead
+        of locking the hot path.
+        """
+        for _ in range(5):
+            try:
+                return self.metrics.snapshot()
+            except RuntimeError:
+                continue
+        return {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def _status_document(self) -> Dict[str, Any]:
+        """JSON document for /status; runs on the status-server thread."""
+        for _ in range(5):
+            try:
+                return {
+                    "manager": self.name,
+                    "address": self.address,
+                    "workers": {
+                        name: dict(link.status, last_seen_age_s=round(
+                            time.monotonic() - link.last_seen, 3
+                        ))
+                        for name, link in self._workers.items()
+                    },
+                    "libraries": {
+                        str(iid): {
+                            "library": rec.library.name,
+                            "worker": rec.instance.worker,
+                            "ready": rec.instance.ready,
+                            "slots": rec.instance.slots,
+                            "used_slots": rec.instance.used_slots,
+                            "total_served": rec.instance.total_served,
+                        }
+                        for iid, rec in self._instances.items()
+                    },
+                    "contexts": self._context_snapshot(),
+                    "tasks": {
+                        "running": len(self._running),
+                        "completed": self.stats["completed"],
+                        "failed": self.stats["failed"],
+                    },
+                    "last_sample": self.perflog.last_sample,
+                }
+            except RuntimeError:
+                continue
+        return {"manager": self.name, "error": "state snapshot raced; retry"}
+
     def library_deploy_times(self, library_name: str) -> List[Dict[str, float]]:
         """Per-instance deploy overheads (worker unpack + context setup) of
         every live instance of ``library_name`` — the Table 5 "L3 Library"
@@ -489,6 +649,13 @@ class Manager:
             return
         self._closed = True
         self.tracer.flush()
+        if self.perflog.enabled:
+            # Final sample so short runs still record their end state.
+            self.perflog.sample(self._perflog_snapshot())
+            self.perflog.transition("manager_close")
+        self.perflog.close()
+        if self.status_server is not None:
+            self.status_server.stop()
         for link in list(self._workers.values()):
             try:
                 link.conn.send({"type": "shutdown"})
@@ -531,6 +698,9 @@ class Manager:
         # stalled past the deadline, processing those first refreshes
         # last_seen and only truly silent workers expire.
         self._check_liveness(now)
+        # One no-op call when telemetry is off; when on, the snapshot
+        # builder only runs every perflog_interval seconds.
+        self.perflog.maybe_sample(now, self._perflog_snapshot)
 
     def _check_liveness(self, now: float) -> None:
         deadline = self.liveness_deadline
@@ -583,6 +753,7 @@ class Manager:
             return
         self._workers[name] = link
         self.placement.add_worker(name, resources)
+        self.perflog.transition("worker_join", worker=name)
         self.log.info("worker %s joined (%s)", name, resources)
         self._selector.register(conn.sock, selectors.EVENT_READ, ("worker", link))
         self._wake_all()  # new capacity: every blocked queue is worth a visit
@@ -834,6 +1005,12 @@ class Manager:
         task.mark("dispatched", time.monotonic())
         self._running[task.id] = task
         self._task_worker_key[task.id] = worker
+        self.stats["tasks_dispatched"] += 1
+        # Task mode reloads its context on every execution: always cold.
+        self._note_warm_cold("<tasks>", warm=False)
+        self.perflog.transition(
+            "task_dispatch", task=task.id, worker=worker, kind="task"
+        )
         self.tracer.record(
             "task_dispatch", task_id=str(task.id), worker=worker, kind="task"
         )
@@ -869,6 +1046,12 @@ class Manager:
         if task.timeout is not None:
             header["timeout"] = task.timeout
         self._outbox.setdefault(inst.worker, []).append((header, payload))
+        # Warm/cold classification, before start_invocation mutates the
+        # slot counts: a warm invocation lands on an instance that has
+        # already served or is concurrently serving work (its context is
+        # resident); a cold one pays the instance's first-use setup.
+        warm = inst.total_served > 0 or inst.used_slots > 0
+        self._note_warm_cold(task.library_name, warm=warm)
         self.placement.start_invocation(inst)
         task.state = TaskState.DISPATCHED
         task.worker = inst.worker
@@ -876,6 +1059,14 @@ class Manager:
         self._running[task.id] = task
         self._invocation_instance[task.id] = inst.instance_id
         self.stats["invocations_dispatched"] += 1
+        self.perflog.transition(
+            "task_dispatch",
+            task=task.id,
+            worker=inst.worker,
+            kind="invocation",
+            library=task.library_name,
+            warm=warm,
+        )
         self.tracer.record(
             "task_dispatch",
             task_id=str(task.id),
@@ -961,7 +1152,9 @@ class Manager:
             self.tracer.absorb(piggyback)
         mtype = message.get("type")
         if mtype == "status":
-            link.status = message.get("report", {})
+            link.status = report = message.get("report", {})
+            if "rss_bytes" in report:
+                self._fold_heartbeat(link.name, report)
         elif mtype == "cache_update":
             digest = message["hash"]
             link.assumed.discard(digest)
@@ -983,6 +1176,20 @@ class Manager:
             self._on_task_failed(message)
         # unknown worker messages are tolerated for forward compatibility
 
+    def _fold_heartbeat(self, worker: str, report: Dict[str, Any]) -> None:
+        """Fold one worker's resource heartbeat into per-worker gauges.
+
+        The heartbeat rides on the periodic status frame
+        (``HEARTBEAT_FIELDS`` in messages.py); gauges land in the shared
+        registry so /metrics exposes ``repro_worker_<name>_rss_bytes``
+        and friends without any extra traffic.
+        """
+        for key in messages.HEARTBEAT_FIELDS:
+            if key in report:
+                self.metrics.gauge(f"worker.{worker}.{key}").set(
+                    float(report[key] or 0)
+                )
+
     def _on_library_ready(self, message: dict) -> None:
         instance_id = int(message["instance_id"])
         record = self._instances.get(instance_id)
@@ -990,6 +1197,12 @@ class Manager:
             return
         record.deploy_times.update(message.get("times", {}))
         self.placement.library_ready(record.instance.worker, instance_id)
+        self.perflog.transition(
+            "library_ready",
+            library=record.library.name,
+            instance=instance_id,
+            worker=record.instance.worker,
+        )
         # A fresh idle instance: its own library gained slots, and every
         # other starving library gained an eviction candidate.
         self._wake_all()
@@ -1001,6 +1214,13 @@ class Manager:
             return
         inst = record.instance
         timeout_kill = message.get("kind") == "timeout"
+        self.perflog.transition(
+            "library_failed",
+            library=record.library.name,
+            instance=instance_id,
+            worker=inst.worker,
+            kind=message.get("kind"),
+        )
         # Fail invocations currently bound to this instance.  On a
         # timeout kill the victim and its siblings were already resolved
         # by their own task_failed frames (sent before this one), so any
@@ -1046,6 +1266,13 @@ class Manager:
         record = self._instances.pop(instance_id, None)
         if record is None:
             return
+        self.perflog.transition(
+            "library_removed",
+            library=record.library.name,
+            instance=instance_id,
+            worker=record.instance.worker,
+            served=record.instance.total_served,
+        )
         try:
             self.placement.remove_library(record.instance.worker, instance_id)
         except Exception:
@@ -1086,6 +1313,18 @@ class Manager:
         task.overheads = times  # type: ignore[attr-defined]
         if self.tracer.enabled:
             self._record_task_cost(task, times, ok=bool(outcome.get("ok")))
+        exec_time = times.get("exec_time")
+        if isinstance(exec_time, (int, float)):
+            # Feeds /metrics tail quantiles and the report's straggler
+            # threshold; one bisect over ten bounds per result.
+            self._hist_execute.observe(float(exec_time))
+        self.perflog.transition(
+            "task_done",
+            task=task.id,
+            worker=task.worker,
+            ok=bool(outcome.get("ok")),
+            execute=float(exec_time) if isinstance(exec_time, (int, float)) else None,
+        )
         if outcome.get("ok"):
             task.set_result(outcome.get("value"))
         else:
@@ -1145,6 +1384,9 @@ class Manager:
             return
         if kind == "timeout":
             self.stats["timeouts"] += 1
+        self.perflog.transition(
+            "task_failed", task=task.id, worker=task.worker, kind=kind
+        )
         task.set_exception(failure_from_message(message))
         task.mark("completed", time.monotonic())
         self._completed.append(task)
@@ -1192,6 +1434,7 @@ class Manager:
         if link.name in self.placement.workers:
             self.placement.remove_worker(link.name)
         self.stats["workers_lost"] += 1
+        self.perflog.transition("worker_lost", worker=link.name)
         self.tracer.record("worker_lost", worker=link.name)
 
     def _requeue(self, task_id: int, blame: Optional[str] = None) -> None:
@@ -1245,6 +1488,9 @@ class Manager:
             self._ready_tasks.appendleft(task)
             self._tasks_dirty = True
         self.stats["requeued"] += 1
+        self.perflog.transition(
+            "task_retry", task=task.id, retries=task.retries, blame=blame
+        )
         self.tracer.record(
             "task_retry", task_id=str(task.id), retries=task.retries, blame=blame
         )

@@ -46,6 +46,20 @@ def attach_trace(message: Dict[str, Any], tracer) -> Dict[str, Any]:
     if events:
         message[TRACE_KEY] = events
     return message
+
+
+# Resource-heartbeat fields every worker ``status`` report carries (on
+# top of the original cache/task summary).  Piggybacked on the existing
+# periodic status frame — no extra round trips — and folded into
+# per-worker gauges by the manager.  Kept as a named constant so the
+# telemetry tests can assert the field set stays stable.
+HEARTBEAT_FIELDS = (
+    "rss_bytes",       # worker process resident set size
+    "busy_slots",      # running tasks + in-flight library invocations
+    "cache_bytes",     # bytes resident in the worker cache
+    "cache_pinned",    # pinned cache entries
+    "libraries_live",  # library instances whose process is alive
+)
 _RECV_CHUNK = 1 << 16  # read ahead in 64 KiB chunks; leftovers stay buffered
 _COMPACT_AT = 1 << 20  # drop consumed prefix once it exceeds 1 MiB
 

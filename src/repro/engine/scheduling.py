@@ -307,6 +307,34 @@ class Placement:
     def deployed_library_count(self) -> int:
         return sum(len(w.libraries) for w in self.workers.values())
 
+    def occupancy_snapshot(self) -> Dict[str, Dict[str, int]]:
+        """Per-library (per-context) occupancy rollup for telemetry.
+
+        One dict per library name, aggregated across all its deployed
+        instances: instance/ready counts, slot totals and in-use slots,
+        and cumulative invocations served.  Pure reads over the same
+        bookkeeping the scheduler maintains, so the perflog sampler and
+        the /status endpoint get exact occupancy for free.
+        """
+        out: Dict[str, Dict[str, int]] = {}
+        for slot in self.workers.values():
+            for inst in slot.libraries.values():
+                ctx = out.get(inst.library_name)
+                if ctx is None:
+                    ctx = out[inst.library_name] = {
+                        "instances": 0,
+                        "ready": 0,
+                        "slots": 0,
+                        "used_slots": 0,
+                        "served": 0,
+                    }
+                ctx["instances"] += 1
+                ctx["ready"] += 1 if inst.ready else 0
+                ctx["slots"] += inst.slots
+                ctx["used_slots"] += inst.used_slots
+                ctx["served"] += inst.total_served
+        return out
+
     def mean_share_value(self) -> float:
         served = [
             inst.total_served

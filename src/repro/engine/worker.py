@@ -37,6 +37,7 @@ from repro.engine.cache import WorkerCache
 from repro.engine.resources import Resources
 from repro.engine.sandbox import ARGS_FILE, RESULT_FILE, Sandbox
 from repro.errors import CacheError, EngineError, ProtocolError
+from repro.obs.perflog import rss_bytes
 from repro.obs.trace import get_tracer
 from repro.util.logging import get_logger
 
@@ -281,16 +282,41 @@ class Worker:
 
     def _send_status(self) -> None:
         """Periodic resource-accounting report (§2.1.3): cache occupancy,
-        in-flight tasks, and hosted libraries."""
+        in-flight tasks, and hosted libraries.
+
+        The report doubles as the telemetry *resource heartbeat*: the
+        ``HEARTBEAT_FIELDS`` extras (RSS, busy slots, per-instance
+        library liveness) piggyback on this existing frame — no new
+        round trips — and the manager folds them into per-worker gauges.
+        """
+        cache_stats = self.cache.stats()
+        active_invocations = sum(
+            len(h.invocations) for h in self.libraries.values()
+        )
         report = {
-            "cache": self.cache.stats(),
+            "cache": cache_stats,
             "running_tasks": len(self.tasks),
             "libraries": len(self.libraries),
             "ready_libraries": sum(1 for h in self.libraries.values() if h.ready),
-            "active_invocations": sum(
-                len(h.invocations) for h in self.libraries.values()
-            ),
+            "active_invocations": active_invocations,
             "peer_bytes_served": self.transfer_server.bytes_served,
+            # HEARTBEAT_FIELDS (messages.py): stable resource extras.
+            "rss_bytes": rss_bytes(),
+            "busy_slots": len(self.tasks) + active_invocations,
+            "cache_bytes": int(cache_stats.get("bytes", 0)),
+            "cache_pinned": int(cache_stats.get("pinned", 0)),
+            "libraries_live": sum(
+                1 for h in self.libraries.values() if h.proc.poll() is None
+            ),
+            "libraries_detail": {
+                str(h.instance_id): {
+                    "library": h.library_name,
+                    "ready": h.ready,
+                    "alive": h.proc.poll() is None,
+                    "active_invocations": len(h.invocations),
+                }
+                for h in self.libraries.values()
+            },
         }
         self._send({"type": "status", "report": report})
 

@@ -1,21 +1,30 @@
-"""Observability: structured tracing, metrics, and trace export.
+"""Observability: structured tracing, metrics, live telemetry, and export.
 
-The package has three layers:
+The package has five layers:
 
 - :mod:`repro.obs.trace` -- per-process ``Tracer`` objects that record
   typed lifecycle events into a bounded in-memory ring buffer.  Worker
   and library events piggyback on existing wire frames back to the
   manager, which assembles one causally-ordered timeline per task.
 - :mod:`repro.obs.metrics` -- counters, gauges, and fixed-bucket
-  histograms behind a ``MetricsRegistry``, plus a ``StatsShim`` that
-  keeps the historical ``manager.stats[...]`` mapping interface alive.
-- :mod:`repro.obs.export` -- Chrome ``trace_event`` JSON export
-  (viewable in Perfetto / chrome://tracing) and the per-invocation
-  six-component cost report from the paper.
+  histograms (now with ``quantile()`` tail estimates) behind a
+  ``MetricsRegistry``, plus a ``StatsShim`` that keeps the historical
+  ``manager.stats[...]`` mapping interface alive.
+- :mod:`repro.obs.perflog` -- the *live* time-series performance log and
+  append-only transaction log sampled by the manager while a run is in
+  flight, plus the simulator's writer for the same JSONL schema.
+- :mod:`repro.obs.statusd` -- a stdlib ``http.server`` status server
+  exposing ``/metrics`` (Prometheus text exposition) and ``/status``
+  (JSON occupancy document) from a daemon thread in the manager.
+- :mod:`repro.obs.export` / :mod:`repro.obs.report` -- post-hoc Chrome
+  ``trace_event`` export and the per-invocation cost report; the run
+  report CLI (``python -m repro.obs report``) summarizing a perflog.
 
-Tracing is disabled unless ``REPRO_TRACE`` is set in the environment;
-the disabled path hands out a shared ``NullTracer`` whose methods are
-no-ops so instrumented hot paths stay cheap.
+Everything here is disabled unless asked for: tracing via
+``REPRO_TRACE``, the perflog sampler via ``REPRO_PERFLOG_DIR``, the
+status server via ``REPRO_STATUS_PORT``.  Each disabled path hands out
+a shared null object (``NullTracer`` / ``NullPerfLog``) whose methods
+are no-ops so instrumented hot paths stay cheap.
 """
 
 from repro.obs.trace import (
@@ -35,6 +44,25 @@ from repro.obs.metrics import (
     MetricsRegistry,
     StatsShim,
 )
+from repro.obs.perflog import (
+    NULL_PERFLOG,
+    NullPerfLog,
+    PerfLog,
+    SAMPLE_FIELDS,
+    get_perflog,
+    make_sample,
+    perflog_enabled,
+    read_perflog,
+    rss_bytes,
+    write_perflog,
+)
+from repro.obs.statusd import (
+    StatusServer,
+    parse_prometheus,
+    render_prometheus,
+    status_port,
+)
+from repro.obs.report import run_report, sparkline
 from repro.obs.export import (
     chrome_trace,
     cost_components,
@@ -47,17 +75,33 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "NULL_PERFLOG",
+    "NullPerfLog",
     "NullTracer",
+    "PerfLog",
+    "SAMPLE_FIELDS",
     "StatsShim",
+    "StatusServer",
     "TraceEvent",
     "Tracer",
     "chrome_trace",
     "cost_components",
     "cost_report",
+    "get_perflog",
     "get_tracer",
+    "make_sample",
     "merge_task_timeline",
+    "parse_prometheus",
+    "perflog_enabled",
     "read_jsonl",
+    "read_perflog",
+    "render_prometheus",
+    "rss_bytes",
+    "run_report",
+    "sparkline",
+    "status_port",
     "tracing_enabled",
     "write_chrome_trace",
     "write_jsonl",
+    "write_perflog",
 ]

@@ -1,0 +1,29 @@
+"""Observability CLI entry point: ``python -m repro.obs <subcommand>``.
+
+Currently one subcommand::
+
+    python -m repro.obs report <perflog> [--txn <txnlog>] [--width N]
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import List, Optional
+
+from repro.obs import report
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if not argv or argv[0] in ("-h", "--help"):
+        print(__doc__.strip())
+        return 0 if argv else 2
+    command, rest = argv[0], argv[1:]
+    if command == "report":
+        return report.main(rest)
+    print(f"unknown subcommand: {command!r} (try 'report')", file=sys.stderr)
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

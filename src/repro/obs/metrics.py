@@ -70,6 +70,31 @@ class Histogram:
     def mean(self) -> float:
         return self.sum / self.count if self.count else math.nan
 
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile (0 <= q <= 1) from the buckets.
+
+        Linear interpolation within the containing bucket, the same
+        estimate ``histogram_quantile`` makes in PromQL: observations are
+        assumed uniformly spread between a bucket's lower and upper
+        bound.  The overflow bucket has no upper bound, so any quantile
+        landing there reports the largest finite bound — a conservative
+        lower estimate, which is exactly what straggler thresholds want.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return math.nan
+        rank = q * self.count
+        cumulative = 0
+        lower = 0.0
+        for bound, bucket_count in zip(self.bounds, self.counts):
+            if bucket_count and cumulative + bucket_count >= rank:
+                fraction = (rank - cumulative) / bucket_count
+                return lower + max(0.0, fraction) * (bound - lower)
+            cumulative += bucket_count
+            lower = bound
+        return self.bounds[-1]
+
 
 class MetricsRegistry:
     """Name-keyed factory and store for the three instrument kinds."""
@@ -111,6 +136,13 @@ class MetricsRegistry:
                     "counts": list(h.counts),
                     "sum": h.sum,
                     "count": h.count,
+                    # Tail summaries: mean() alone hides stragglers.
+                    # 0.0 (not NaN) when empty keeps the snapshot strict-
+                    # JSON-serializable for the /status endpoint.
+                    "mean": h.mean if h.count else 0.0,
+                    "p50": h.quantile(0.50) if h.count else 0.0,
+                    "p95": h.quantile(0.95) if h.count else 0.0,
+                    "p99": h.quantile(0.99) if h.count else 0.0,
                 }
                 for n, h in self.histograms.items()
             },

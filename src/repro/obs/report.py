@@ -1,0 +1,193 @@
+"""Run reports from a perflog: ``python -m repro.obs report <perflog>``.
+
+Consumes the JSONL performance log written by the manager sampler (or
+the simulator's equivalent export) and prints an operator-facing
+summary: utilization, ASCII-sparkline timelines of concurrency and
+cache occupancy, per-context warm-vs-cold invocation ratios, and — when
+the matching transaction log is supplied — straggler flags for tasks
+whose execute time exceeded the run's p99.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.obs.perflog import read_perflog
+
+# Eight block heights; a space for "no data at this step".
+SPARK_CHARS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float], width: int = 60) -> str:
+    """Render a numeric series as a fixed-width ASCII sparkline.
+
+    Longer series are downsampled by bucket-maxing (peaks must stay
+    visible — a dip-preserving mean would hide the straggler spikes the
+    report exists to surface); shorter series are used as-is.
+    """
+    values = [float(v) for v in values]
+    if not values:
+        return ""
+    if len(values) > width:
+        bucketed: List[float] = []
+        for i in range(width):
+            lo = i * len(values) // width
+            hi = max(lo + 1, (i + 1) * len(values) // width)
+            bucketed.append(max(values[lo:hi]))
+        values = bucketed
+    low, high = min(values), max(values)
+    span = high - low
+    if span <= 0:
+        return SPARK_CHARS[0] * len(values)
+    steps = len(SPARK_CHARS) - 1
+    return "".join(
+        SPARK_CHARS[int(round((v - low) / span * steps))] for v in values
+    )
+
+
+def series(samples: Sequence[Dict[str, Any]], field: str) -> List[float]:
+    return [float(s.get(field, 0.0) or 0.0) for s in samples]
+
+
+def utilization(samples: Sequence[Dict[str, Any]]) -> Optional[float]:
+    """Mean fraction of fleet slots busy, from per-sample occupancy.
+
+    Uses ``contexts`` slot totals when present (library mode); falls
+    back to ``busy_slots`` against the peak observed concurrency so
+    task-mode perflogs still get a number.  None when nothing ever ran.
+    """
+    fractions: List[float] = []
+    for sample in samples:
+        contexts = sample.get("contexts") or {}
+        slots = sum(int(c.get("slots", 0)) for c in contexts.values())
+        if slots > 0:
+            used = sum(int(c.get("used_slots", 0)) for c in contexts.values())
+            fractions.append(min(1.0, used / slots))
+    if fractions:
+        return sum(fractions) / len(fractions)
+    busy = series(samples, "busy_slots")
+    peak = max(busy, default=0.0)
+    if peak <= 0:
+        return None
+    return sum(busy) / (len(busy) * peak)
+
+
+def warm_cold_by_context(samples: Sequence[Dict[str, Any]]) -> Dict[str, Dict[str, float]]:
+    """Cumulative warm/cold counts and warm ratio, from the final sample."""
+    out: Dict[str, Dict[str, float]] = {}
+    if not samples:
+        return out
+    contexts = samples[-1].get("contexts") or {}
+    for name in sorted(contexts):
+        ctx = contexts[name]
+        warm = float(ctx.get("warm", 0))
+        cold = float(ctx.get("cold", 0))
+        total = warm + cold
+        out[name] = {
+            "warm": warm,
+            "cold": cold,
+            "warm_ratio": warm / total if total else 0.0,
+        }
+    return out
+
+
+def stragglers(
+    transactions: Sequence[Dict[str, Any]], quantile: float = 0.99
+) -> Dict[str, Any]:
+    """Tasks whose execute time exceeded the run's ``quantile`` threshold.
+
+    Reads ``task_done`` transitions (each carries ``execute`` seconds).
+    The threshold is the exact empirical quantile of the observed times —
+    unlike the bucketed ``Histogram.quantile`` estimate, the transaction
+    log retains every sample, so the report can afford precision.
+    """
+    times = sorted(
+        (float(t["execute"]), str(t.get("task", "?")))
+        for t in transactions
+        if t.get("event") == "task_done" and t.get("execute") is not None
+    )
+    if not times:
+        return {"threshold": None, "tasks": [], "count": 0}
+    rank = min(len(times) - 1, int(quantile * len(times)))
+    threshold = times[rank][0]
+    flagged = [
+        {"task": task, "execute": secs} for secs, task in times if secs > threshold
+    ]
+    return {"threshold": threshold, "tasks": flagged, "count": len(times)}
+
+
+def run_report(
+    samples: Sequence[Dict[str, Any]],
+    transactions: Sequence[Dict[str, Any]] = (),
+    *,
+    width: int = 60,
+) -> str:
+    """Format the full text report for a parsed perflog."""
+    if not samples:
+        return "(empty perflog: no samples)"
+    first, last = samples[0], samples[-1]
+    duration = float(last.get("ts", 0.0)) - float(first.get("ts", 0.0))
+    lines = [
+        f"perflog report: {len(samples)} samples over {duration:.2f}s",
+        f"  tasks: done={int(last.get('tasks_done', 0))}"
+        f" failed={int(last.get('tasks_failed', 0))}"
+        f" retried={int(last.get('tasks_retried', 0))}",
+        f"  workers: connected={int(last.get('workers_connected', 0))}"
+        f" lost={int(last.get('workers_lost', 0))}",
+    ]
+    util = utilization(samples)
+    if util is not None:
+        lines.append(f"  utilization: {util:.1%} (mean busy fraction)")
+    running = series(samples, "tasks_running")
+    cache = series(samples, "cache_bytes")
+    lines.append(
+        f"  tasks_running  [peak {int(max(running, default=0))}]"
+        f"  {sparkline(running, width)}"
+    )
+    lines.append(
+        f"  cache_bytes    [peak {max(cache, default=0.0):.3g}]"
+        f"  {sparkline(cache, width)}"
+    )
+    ratios = warm_cold_by_context(samples)
+    if ratios:
+        lines.append("  warm/cold invocations by context:")
+        for name, stats in ratios.items():
+            lines.append(
+                f"    {name:<24} warm={int(stats['warm']):>6}"
+                f" cold={int(stats['cold']):>4}"
+                f"  warm_ratio={stats['warm_ratio']:.3f}"
+            )
+    if transactions:
+        info = stragglers(transactions)
+        if info["threshold"] is None:
+            lines.append("  stragglers: no task_done transitions with execute times")
+        else:
+            lines.append(
+                f"  stragglers (> p99 execute = {info['threshold']:.4f}s"
+                f" of {info['count']} tasks): {len(info['tasks'])}"
+            )
+            for entry in info["tasks"][:10]:
+                lines.append(
+                    f"    {entry['task']:<24} execute={entry['execute']:.4f}s"
+                )
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs report",
+        description="Summarize a JSONL performance log.",
+    )
+    parser.add_argument("perflog", help="path to a perflog-*.jsonl file")
+    parser.add_argument(
+        "--txn",
+        default=None,
+        help="matching txnlog-*.jsonl for straggler detection",
+    )
+    parser.add_argument("--width", type=int, default=60, help="sparkline width")
+    args = parser.parse_args(argv)
+    samples = read_perflog(args.perflog)
+    transactions = read_perflog(args.txn) if args.txn else ()
+    print(run_report(samples, transactions, width=args.width))
+    return 0

@@ -1,0 +1,226 @@
+"""Status server: ``/metrics`` (Prometheus text) and ``/status`` (JSON).
+
+A stdlib ``http.server`` instance on a daemon thread inside the manager
+process.  The manager's event loop stays single-threaded; the server
+thread only *reads* manager state:
+
+- ``/metrics`` renders ``MetricsRegistry.snapshot()`` in the Prometheus
+  text exposition format (version 0.0.4) — counters, gauges, cumulative
+  histogram buckets with ``+Inf``, ``_sum``/``_count``, and a
+  ``_quantiles`` gauge family carrying the new p50/p95/p99 estimates.
+- ``/status`` returns a JSON document with per-worker, per-library, and
+  per-context occupancy plus the most recent perflog sample.
+
+The snapshot functions are plain callables supplied by the manager;
+they run on the server thread but touch only GIL-atomic reads (dict
+copies of float values), the same benignity argument the trace absorb
+path already relies on.  Off by default: the manager only starts a
+server when ``REPRO_STATUS_PORT`` is set or ``status_port=`` is passed.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+# Every exported family is prefixed so repro metrics can't collide with
+# anything else a scrape target exposes.
+METRIC_PREFIX = "repro_"
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def sanitize_metric_name(name: str) -> str:
+    """Map an internal instrument name onto the Prometheus grammar."""
+    name = _NAME_RE.sub("_", name)
+    if name and name[0].isdigit():
+        name = "_" + name
+    return METRIC_PREFIX + name
+
+
+def _fmt(value: float) -> str:
+    """Prometheus-style float rendering: integers stay bare, +Inf spelled out."""
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def render_prometheus(snapshot: Dict[str, Any]) -> str:
+    """Render a ``MetricsRegistry.snapshot()`` as text exposition 0.0.4.
+
+    Histograms expand to the conventional ``_bucket{le=...}`` cumulative
+    series plus ``_sum``/``_count``; the p50/p95/p99 estimates added in
+    this PR travel in a separate ``<name>_quantiles`` gauge family with a
+    ``quantile`` label (Prometheus forbids mixing summary-style children
+    into a histogram family).
+    """
+    lines: List[str] = []
+    for name in sorted(snapshot.get("counters", {})):
+        metric = sanitize_metric_name(name)
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {_fmt(snapshot['counters'][name])}")
+    for name in sorted(snapshot.get("gauges", {})):
+        metric = sanitize_metric_name(name)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_fmt(snapshot['gauges'][name])}")
+    for name in sorted(snapshot.get("histograms", {})):
+        hist = snapshot["histograms"][name]
+        metric = sanitize_metric_name(name)
+        lines.append(f"# TYPE {metric} histogram")
+        cumulative = 0
+        for bound, count in zip(hist["bounds"], hist["counts"]):
+            cumulative += count
+            lines.append(f'{metric}_bucket{{le="{_fmt(bound)}"}} {cumulative}')
+        lines.append(f'{metric}_bucket{{le="+Inf"}} {hist["count"]}')
+        lines.append(f"{metric}_sum {_fmt(hist['sum'])}")
+        lines.append(f"{metric}_count {hist['count']}")
+        quantiles = metric + "_quantiles"
+        lines.append(f"# TYPE {quantiles} gauge")
+        for q, key in (("0.5", "p50"), ("0.95", "p95"), ("0.99", "p99")):
+            lines.append(f'{quantiles}{{quantile="{q}"}} {_fmt(hist.get(key, 0.0))}')
+    return "\n".join(lines) + "\n"
+
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>[^\s]+)(?:\s+\d+)?$"
+)
+_LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def parse_prometheus(text: str) -> List[Tuple[str, Dict[str, str], float]]:
+    """Strict line parser for the text exposition format.
+
+    Returns ``(name, labels, value)`` triples; raises ``ValueError`` on
+    any line that is neither a sample, a comment, nor blank.  This is the
+    "a Prometheus text parser accepts it" acceptance check — deliberately
+    unforgiving so golden tests catch format drift.
+    """
+    samples: List[Tuple[str, Dict[str, str], float]] = []
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line.strip() or line.startswith("#"):
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise ValueError(f"line {lineno}: not a valid sample: {line!r}")
+        labels: Dict[str, str] = {}
+        raw = match.group("labels")
+        if raw:
+            consumed = 0
+            for lab in _LABEL_RE.finditer(raw):
+                labels[lab.group(1)] = lab.group(2)
+                consumed = lab.end()
+            if raw[consumed:].strip(", "):
+                raise ValueError(f"line {lineno}: bad labels: {raw!r}")
+        value = match.group("value")
+        if value == "+Inf":
+            parsed = float("inf")
+        elif value == "-Inf":
+            parsed = float("-inf")
+        else:
+            parsed = float(value)  # raises ValueError on junk
+        samples.append((match.group("name"), labels, parsed))
+    return samples
+
+
+class StatusServer:
+    """Daemon-threaded HTTP server exposing ``/metrics`` and ``/status``.
+
+    ``metrics_fn`` returns a registry snapshot dict; ``status_fn``
+    returns a JSON-serializable status document.  ``port=0`` binds an
+    ephemeral port (read it back from ``.port`` — the telemetry tests
+    rely on this to avoid collisions).
+    """
+
+    def __init__(
+        self,
+        metrics_fn: Callable[[], Dict[str, Any]],
+        status_fn: Callable[[], Dict[str, Any]],
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ):
+        server = self
+
+        class Handler(BaseHTTPRequestHandler):
+            def do_GET(self) -> None:  # noqa: N802 (http.server API)
+                path = self.path.split("?", 1)[0]
+                try:
+                    if path == "/metrics":
+                        body = render_prometheus(server.metrics_fn()).encode()
+                        ctype = "text/plain; version=0.0.4; charset=utf-8"
+                    elif path in ("/status", "/status/"):
+                        body = json.dumps(
+                            server.status_fn(), sort_keys=True, default=str
+                        ).encode()
+                        ctype = "application/json"
+                    elif path == "/healthz":
+                        body, ctype = b"ok\n", "text/plain"
+                    else:
+                        self.send_error(404, "unknown path (try /metrics or /status)")
+                        return
+                except Exception as exc:  # surfaced to the scraper, not fatal
+                    self.send_error(500, f"snapshot failed: {exc}")
+                    return
+                self.send_response(200)
+                self.send_header("Content-Type", ctype)
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def log_message(self, fmt: str, *args: Any) -> None:
+                pass  # scrapes must not spam the manager's stdout
+
+        self.metrics_fn = metrics_fn
+        self.status_fn = status_fn
+        self._httpd = ThreadingHTTPServer((host, port), Handler)
+        self._httpd.daemon_threads = True
+        self.host, self.port = self._httpd.server_address[:2]
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            kwargs={"poll_interval": 0.1},
+            name="repro-statusd",
+            daemon=True,
+        )
+        self._started = False
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "StatusServer":
+        if not self._started:
+            self._started = True
+            self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        if self._started:
+            self._httpd.shutdown()
+            self._thread.join(timeout=2.0)
+            self._started = False
+        self._httpd.server_close()
+
+
+def status_port() -> Optional[int]:
+    """``REPRO_STATUS_PORT`` as an int, or None when unset/invalid.
+
+    ``0`` is a valid value (ephemeral port) so tests can enable the
+    server without picking a free port themselves.
+    """
+    raw = os.environ.get("REPRO_STATUS_PORT")
+    if raw is None or raw == "":
+        return None
+    try:
+        return int(raw)
+    except ValueError:
+        return None

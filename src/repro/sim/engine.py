@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 from typing import Deque, Dict, List, Optional
 
 from repro.errors import SimulationError
+from repro.obs.perflog import make_sample, write_perflog
 from repro.sim.calibration import CostModel, ReuseLevel, ServiceSampler
 from repro.sim.des import EventQueue, FairShareResource
 from repro.sim.machine import SimMachine
@@ -79,6 +80,8 @@ class SimManager:
         *,
         seed: int | str = 0,
         sample_every: Optional[int] = None,
+        perflog_path: Optional[str] = None,
+        perflog_every: float = 2.0,
     ):
         if not fleet:
             raise SimulationError("fleet is empty")
@@ -133,6 +136,22 @@ class SimManager:
         # Incremental library accounting (Figures 10/11) — O(1) per event.
         self._active_libraries = 0
         self._active_served = 0
+        # Live-telemetry emulation: the sim writes the same JSONL perflog
+        # schema (make_sample) as the real manager, in *sim time*, so
+        # ``python -m repro.obs report`` reads either.  Disabled (and
+        # costless) unless perflog_path is given.
+        self.perflog_path = perflog_path
+        self.perflog_every = max(1e-6, perflog_every)
+        self.perflog_samples: List[Dict[str, int]] = []
+        self._perflog_next = 0.0
+        self._inflight = 0
+        self._dispatched = 0
+        self._perflog_prev: tuple[float, int] = (0.0, 0)
+        self._warm_workers = 0
+        # context (function) -> {"warm": n, "cold": n}: warm means the
+        # execution found its context resident (L2 warm worker, L3
+        # already-serving library); L1 reloads everything, always cold.
+        self._warm_cold: Dict[str, Dict[str, int]] = {}
 
     # ------------------------------------------------------------------ run
     def run(self) -> RunResult:
@@ -143,6 +162,9 @@ class SimManager:
             raise SimulationError(
                 f"simulation stalled: {self._done}/{self._total} completed"
             )
+        if self.perflog_path is not None:
+            self.perflog_samples.append(self._perflog_sample())  # end state
+            write_perflog(self.perflog_path, self.perflog_samples)
         return RunResult(
             workload=self.workload.name,
             level=self.level.value,
@@ -192,6 +214,8 @@ class SimManager:
         return None
 
     def _send(self, spec: InvocationSpec, token: object) -> None:
+        self._dispatched += 1
+        self._inflight += 1
         if self.level is ReuseLevel.L3:
             assert isinstance(token, _SimLibrary)
             self._begin_invocation_l3(spec, token)
@@ -201,6 +225,12 @@ class SimManager:
 
     # ------------------------------------------------------------ L1/L2 path
     def _begin_task(self, spec: InvocationSpec, worker: _SimWorker) -> None:
+        # L2 is warm only once this worker's environment is resident;
+        # L1 re-reads the context from the shared FS every time.
+        self._note_warm_cold(
+            spec.function,
+            warm=self.level is ReuseLevel.L2 and worker.env_state == "warm",
+        )
         start = self.queue.now + self.model.net_latency
         if self.level is ReuseLevel.L2 and worker.env_state != "warm":
             # First task(s) on a cold worker wait for the one-time context
@@ -242,6 +272,7 @@ class SimManager:
 
     def _env_warm(self, worker: _SimWorker) -> None:
         worker.env_state = "warm"
+        self._warm_workers += 1
         waiting, worker.waiting = worker.waiting, []
         for spec in waiting:
             started = self._waiting_started.pop(spec.uid, self.queue.now)
@@ -289,6 +320,7 @@ class SimManager:
             {"exec": exec_time, "overhead": max(0.0, runtime - exec_time)},
         )
         self._free_tokens.append(worker)
+        self._inflight -= 1
         self._complete(spec)
 
     # ------------------------------------------------------------------ L3 path
@@ -341,6 +373,7 @@ class SimManager:
 
                 def after_unpack() -> None:
                     worker.env_state = "warm"
+                    self._warm_workers += 1
                     do_setup()
 
                 self.queue.schedule(unpack, after_unpack)
@@ -357,6 +390,12 @@ class SimManager:
         self._pump()
 
     def _begin_invocation_l3(self, spec: InvocationSpec, lib: _SimLibrary) -> None:
+        # Same rule as the real manager: cold only for the first
+        # invocation landing on a fresh instance; once the library is
+        # serving, its retained context makes every arrival warm.
+        self._note_warm_cold(
+            spec.function, warm=lib.served > 0 or lib.busy_slots > 0
+        )
         lib.busy_slots += 1
         started = self.queue.now + self.model.net_latency
         speed = lib.worker.machine.speed_factor
@@ -384,6 +423,7 @@ class SimManager:
         self.queue.schedule(
             self.model.library_idle_timeout, lambda: self._idle_check(lib, stamp)
         )
+        self._inflight -= 1
         self._complete(spec)
 
     def _idle_check(self, lib: _SimLibrary, stamp: float) -> None:
@@ -397,6 +437,71 @@ class SimManager:
         self._active_libraries -= 1
         self._active_served -= lib.served
 
+    # ---------------------------------------------------------- live telemetry
+    def _note_warm_cold(self, context: str, warm: bool) -> None:
+        entry = self._warm_cold.get(context)
+        if entry is None:
+            entry = self._warm_cold[context] = {"warm": 0, "cold": 0}
+        entry["warm" if warm else "cold"] += 1
+
+    def _perflog_sample(self) -> Dict[str, object]:
+        """One perflog sample in sim time, same schema as the real manager."""
+        now = self.queue.now
+        libraries = [
+            lib
+            for worker in self.workers
+            for lib in worker.libraries
+            if not lib.removed
+        ]
+        busy = sum(lib.busy_slots for lib in libraries) or self._inflight
+        contexts: Dict[str, Dict[str, int]] = {
+            fn: {
+                "instances": 0,
+                "ready": 0,
+                "slots": 0,
+                "used_slots": 0,
+                "served": 0,
+                "warm": counts["warm"],
+                "cold": counts["cold"],
+            }
+            for fn, counts in self._warm_cold.items()
+        }
+        if libraries:
+            # Sim libraries serve every function of the workload, so the
+            # fleet-wide occupancy lives under one synthetic context
+            # rather than being double-counted per function.
+            contexts["<libraries>"] = {
+                "instances": len(libraries),
+                "ready": sum(1 for lib in libraries if lib.ready),
+                "slots": sum(lib.slots for lib in libraries),
+                "used_slots": sum(lib.busy_slots for lib in libraries),
+                "served": self._active_served,
+                "warm": 0,
+                "cold": 0,
+            }
+        prev_now, prev_dispatched = self._perflog_prev
+        rate = (
+            (self._dispatched - prev_dispatched) / (now - prev_now)
+            if now > prev_now
+            else 0.0
+        )
+        self._perflog_prev = (now, self._dispatched)
+        return make_sample(
+            ts=now,
+            uptime_s=now,
+            tasks_waiting=len(self.ready),
+            tasks_running=self._inflight,
+            tasks_done=self._done,
+            workers_connected=len(self.workers),
+            libraries_active=self._active_libraries,
+            cache_bytes=self._warm_workers
+            * (self.model.env_tarball_bytes + self.model.data_bytes),
+            busy_slots=busy,
+            dispatch_rate=rate,
+            queue_depths={"<ready>": len(self.ready)} if self.ready else {},
+            contexts=contexts,
+        )
+
     # ------------------------------------------------------------- completion
     def _active_library_stats(self) -> tuple[int, float]:
         active = self._active_libraries
@@ -406,6 +511,9 @@ class SimManager:
     def _complete(self, spec: InvocationSpec) -> None:
         self._done += 1
         self._completed_at = self.queue.now
+        if self.perflog_path is not None and self.queue.now >= self._perflog_next:
+            self._perflog_next = self.queue.now + self.perflog_every
+            self.perflog_samples.append(self._perflog_sample())
         if self.level is ReuseLevel.L3:
             active, mean_share = self._active_library_stats()
             self.trace.sample_libraries(active, mean_share)

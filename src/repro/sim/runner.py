@@ -26,11 +26,25 @@ def run_simulation(
     seed: int | str = 0,
     exclude_groups: Sequence[str] = (),
     sample_every: Optional[int] = None,
+    perflog: Optional[str] = None,
+    perflog_every: float = 2.0,
 ) -> RunResult:
-    """Simulate ``workload`` at ``level`` on a Table-3-proportional fleet."""
+    """Simulate ``workload`` at ``level`` on a Table-3-proportional fleet.
+
+    ``perflog`` names a JSONL path; when given, the sim emits the same
+    time-series performance-log schema as the real manager (in sim time)
+    for ``python -m repro.obs report``.
+    """
     fleet = build_fleet(n_workers, seed=seed, exclude_groups=exclude_groups)
     sim = SimManager(
-        workload, fleet, model, level, seed=seed, sample_every=sample_every
+        workload,
+        fleet,
+        model,
+        level,
+        seed=seed,
+        sample_every=sample_every,
+        perflog_path=perflog,
+        perflog_every=perflog_every,
     )
     return sim.run()
 
@@ -44,6 +58,8 @@ def run_lnni(
     seed: int | str = 0,
     exclude_groups: Sequence[str] = (),
     model: Optional[CostModel] = None,
+    perflog: Optional[str] = None,
+    perflog_every: float = 2.0,
 ) -> RunResult:
     """One LNNI cell of the experiment matrix (Figures 6a/7/8/9/10/11, Table 4)."""
     wl = lnni_workload(n_invocations, inferences_per_invocation)
@@ -54,6 +70,8 @@ def run_lnni(
         n_workers=n_workers,
         seed=seed,
         exclude_groups=exclude_groups,
+        perflog=perflog,
+        perflog_every=perflog_every,
     )
 
 
@@ -64,6 +82,7 @@ def run_examol(
     n_workers: int = 150,
     seed: int | str = 0,
     model: Optional[CostModel] = None,
+    perflog: Optional[str] = None,
 ) -> RunResult:
     """One ExaMol cell (Figure 6b).  The paper evaluates L1 and L2 only."""
     wl = examol_workload(n_tasks)
@@ -73,4 +92,5 @@ def run_examol(
         level,
         n_workers=n_workers,
         seed=seed,
+        perflog=perflog,
     )
