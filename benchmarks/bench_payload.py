@@ -1,0 +1,33 @@
+"""Payload-plane microbenchmark: warm-argument sweep from 1 KiB to 64 MiB.
+
+Not a paper table: this guards the zero-copy property the data plane
+exists for — once an argument is declared into the shared-memory
+content store, a warm invocation ships a fixed-size descriptor, so the
+bytes *copied* per invocation must stay flat while the payload grows
+by orders of magnitude (DESIGN.md §2e).
+
+Run the full 5k-invocation sweep (up to 64 MiB payloads) with
+``REPRO_BENCH_FULL=1``.  To refresh the committed regression baseline
+(``BENCH_payload.json`` at the repo root, consumed by
+``scripts/ci.sh``), set ``REPRO_WRITE_BASELINE=1``.
+"""
+
+import _baseline
+
+from repro.bench import payload_plane
+
+
+def test_payload_plane(benchmark, show, smoke):
+    result = benchmark.pedantic(payload_plane, rounds=1, iterations=1)
+    show(result)
+    v = result.values
+    assert v["failed"] == 0
+    if v["shm"]:
+        # The descriptor plane's core claim: copied bytes per warm
+        # invocation do not scale with the payload — flat within 10%
+        # from the smallest to the largest size in the sweep.
+        assert v["flatness_ratio"] <= 1.10
+        # And the flat cost is the spec blob, not the payload: well
+        # under the 32 KiB inline threshold even with header slack.
+        assert v["copied_per_invocation_max"] < 32 * 1024
+    _baseline.maybe_write_baseline("payload", v)

@@ -53,9 +53,42 @@ print(message)
 sys.exit(0 if ok else 1)
 GATE
 
+# Payload plane: warm-argument sweep (1 KiB – 8 MiB at the default
+# scale).  Gates the zero-copy property directly — bytes copied per
+# warm invocation must stay flat (within 10%) as the payload grows, and
+# throughput must hold against the committed BENCH_payload.json
+# baseline.  The full 5k-invocation / 64 MiB sweep runs under
+# REPRO_BENCH_FULL=1 outside CI.
+echo "== payload-plane smoke (cap ${BENCH_CAP}s) =="
+timeout --signal=TERM --kill-after=30 "$BENCH_CAP" python - <<'GATE'
+import sys
+
+sys.path.insert(0, "benchmarks")
+import _baseline
+
+from repro.bench import payload_plane
+
+result = payload_plane()
+print(result.text)
+v = result.values
+if v["failed"]:
+    print(f"FAIL: {v['failed']} invocations failed")
+    sys.exit(1)
+if v["shm"] and v["flatness_ratio"] > 1.10:
+    print(f"FAIL: copied-bytes flatness {v['flatness_ratio']:.2f} > 1.10")
+    sys.exit(1)
+
+ok, message = _baseline.compare(
+    "payload", v, "invocations_per_second", floor_ratio=0.7
+)
+print(message)
+sys.exit(0 if ok else 1)
+GATE
+
 # Live-telemetry pipeline: perflog sampler + txn log + /metrics and
-# /status server scraped mid-run, then the same workload timed with
-# telemetry on vs off (budget: CI_TELEMETRY_OVERHEAD_PCT, default 2%).
+# /status server scraped mid-run, then the same workload timed in
+# back-to-back telemetry-on/off pairs, gating the minimum pair delta
+# (budget: CI_TELEMETRY_OVERHEAD_PCT, default 10% of dispatch time).
 echo "== telemetry smoke (cap ${BENCH_CAP}s) =="
 timeout --signal=TERM --kill-after=30 "$BENCH_CAP" \
     python scripts/telemetry_smoke.py
@@ -78,5 +111,25 @@ timeout --signal=TERM --kill-after=30 "$BENCH_CAP" \
 echo "== benchmark smoke, all experiments at tiny scale (cap ${SMOKE_CAP}s) =="
 timeout --signal=TERM --kill-after=30 "$SMOKE_CAP" \
     env REPRO_BENCH_SMOKE=1 python -m pytest -q benchmarks/
+
+# Shared-memory hygiene: after every test, fault, and chaos stage above
+# no repro-pl-* segment may survive.  Orphans from processes the fault
+# stages SIGKILLed are reclaimed first (that path is itself under test);
+# anything still present afterwards is a real leak in the payload plane.
+echo "== leaked-shm check =="
+python - <<'GATE'
+import sys
+
+from repro.engine import payloads
+
+reaped = payloads.reap_orphans()
+if reaped:
+    print(f"reaped {reaped} orphaned segment(s) from killed processes")
+leaked = payloads.list_segments()
+if leaked:
+    print(f"FAIL: leaked shared-memory segments: {leaked}")
+    sys.exit(1)
+print("no leaked payload segments")
+GATE
 
 echo "== ci passed =="

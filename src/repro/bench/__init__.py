@@ -19,6 +19,7 @@ from repro.bench.experiments import (
     fig8_invocation_length_sweep,
     fig9_worker_sweep,
     extension_examol_l3,
+    payload_plane,
     fig10_11_library_curves,
     table2_overhead,
     table4_runtime_stats,
@@ -32,6 +33,7 @@ __all__ = [
     "format_table",
     "chaos_smoke",
     "dispatch_throughput",
+    "payload_plane",
     "table2_overhead",
     "table4_runtime_stats",
     "table5_overhead_breakdown",

@@ -30,13 +30,16 @@ from typing import Any, Dict
 
 
 def _serve_invocation_in(sandbox: str, fn, ns: Dict[str, Any]) -> Dict[str, Any]:
-    """Execute one invocation whose args are staged in ``sandbox``.
+    """Execute one fork-mode invocation whose args are staged in ``sandbox``.
 
     Returns the outcome dict and writes the result file, mirroring
     task_runner's format so the worker handles both identically.
+    (Direct-mode invocations skip the filesystem entirely — see
+    :meth:`LibraryServer._handle_invoke`.)
     """
+    from repro.engine import payloads
     from repro.engine.sandbox import ARGS_FILE, RESULT_FILE
-    from repro.serialize.core import deserialize_from_file, serialize_to_file
+    from repro.serialize.core import deserialize, deserialize_from_file, serialize_to_file
 
     home = os.getcwd()
     os.chdir(sandbox)
@@ -46,6 +49,9 @@ def _serve_invocation_in(sandbox: str, fn, ns: Dict[str, Any]) -> Dict[str, Any]
             spec = deserialize_from_file(os.path.join(sandbox, ARGS_FILE))
             args = spec.get("args", ())
             kwargs = spec.get("kwargs", {})
+            args, kwargs = payloads.resolve_args(
+                args, kwargs, payloads.ResolvedArgCache(), deserialize
+            )
         except Exception as exc:
             outcome: Dict[str, Any] = {
                 "ok": False,
@@ -106,6 +112,13 @@ class LibraryServer:
         self.child_deadlines: Dict[int, float] = {}
         self.timed_out: Dict[int, float] = {}  # pid -> requested timeout
         self.setup_time = 0.0
+        # Deserialized declare_argument values, keyed by content digest.
+        # A warm instance therefore pays neither the copy nor the
+        # unpickle for a repeated large argument — the retained-context
+        # principle applied to data.
+        from repro.engine.payloads import ResolvedArgCache
+
+        self.arg_cache = ResolvedArgCache()
 
     # -- context construction ---------------------------------------------
     def build_context(self) -> None:
@@ -173,7 +186,7 @@ class LibraryServer:
         while True:
             self._reap_children(conn)
             try:
-                message, _ = conn.receive(timeout=0.05)
+                message, payload = conn.receive(timeout=0.05)
             except TimeoutError:
                 continue
             except Exception:
@@ -184,13 +197,88 @@ class LibraryServer:
                 conn.send({"type": "bye"})
                 return 0
             if mtype == "invoke":
-                self._handle_invoke(conn, message)
+                self._handle_invoke(conn, message, payload)
             # unknown types are ignored: forward compatibility
 
-    def _handle_invoke(self, conn, message: Dict[str, Any]) -> None:
+    def _load_direct_args(self, message: Dict[str, Any], payload: bytes):
+        """Materialize a direct invocation's (args, kwargs) from the frame.
+
+        Arguments arrive either inline behind the invoke frame or as an
+        ``args_shm`` descriptor, in which case they are deserialized
+        straight out of the attached segment (zero copy).  Declared
+        arguments (placeholders) resolve through the per-process cache.
+        """
+        from repro.engine import payloads
+        from repro.serialize.core import deserialize
+
+        descriptor = message.get("args_shm")
+        if descriptor is not None:
+            with payloads.attach(descriptor) as mapped:
+                spec = deserialize(mapped.view)
+        elif payload:
+            spec = deserialize(payload)
+        else:
+            spec = {}
+        args = spec.get("args", ())
+        kwargs = spec.get("kwargs", {})
+        return payloads.resolve_args(args, kwargs, self.arg_cache, deserialize)
+
+    def _run_direct(
+        self, message: Dict[str, Any], payload: bytes, fn
+    ) -> Dict[str, Any]:
+        """Execute a direct invocation without touching the filesystem.
+
+        The pre-payload-plane path wrote an args file, read it back,
+        wrote an fsync'd result file, and had the worker read that —
+        five filesystem operations per invocation on the hottest path in
+        the system.  Args now arrive on the invoke frame (or in shared
+        memory) and the result returns on the complete frame (or as a
+        one-shot segment); the sandbox is only entered when the
+        invocation actually staged input files.
+        """
+        sandbox = message.get("sandbox")
+        home = os.getcwd()
+        if sandbox:
+            os.chdir(sandbox)
+        try:
+            load_started = time.monotonic()
+            try:
+                args, kwargs = self._load_direct_args(message, payload)
+            except Exception as exc:
+                return {
+                    "ok": False,
+                    "error": f"bad arguments: {exc}",
+                    "traceback": traceback.format_exc(),
+                    "times": {
+                        "invoc_overhead": time.monotonic() - load_started,
+                        "exec_time": 0.0,
+                    },
+                }
+            invoc_overhead = time.monotonic() - load_started
+            exec_started = time.monotonic()
+            try:
+                value = fn(*args, **kwargs)
+                outcome: Dict[str, Any] = {"ok": True, "value": value}
+            except BaseException as exc:
+                outcome = {
+                    "ok": False,
+                    "error": f"{type(exc).__name__}: {exc}",
+                    "traceback": traceback.format_exc(),
+                }
+            outcome["times"] = {
+                "invoc_overhead": invoc_overhead,
+                "exec_time": time.monotonic() - exec_started,
+            }
+            return outcome
+        finally:
+            if sandbox:
+                os.chdir(home)
+
+    def _handle_invoke(
+        self, conn, message: Dict[str, Any], payload: bytes = b""
+    ) -> None:
         task_id = message["task_id"]
         fname = message["function"]
-        sandbox = message["sandbox"]
         mode = message.get("mode", "direct")
         fn = self.functions.get(fname)
         if fn is None:
@@ -205,6 +293,7 @@ class LibraryServer:
             return
         timeout = message.get("timeout")
         if mode == "fork":
+            sandbox = message["sandbox"]  # fork mode stays file-based
             pid = os.fork()
             if pid == 0:
                 # Child: run the invocation in the inherited (already set
@@ -220,7 +309,7 @@ class LibraryServer:
             if timeout:
                 self.child_deadlines[pid] = time.monotonic() + float(timeout)
             return
-        outcome = _serve_invocation_in(sandbox, fn, self.namespace)
+        outcome = self._run_direct(message, payload, fn)
         times = outcome.get("times", {})
         self.tracer.record(
             "library_invoke",
@@ -230,19 +319,31 @@ class LibraryServer:
             seconds=times.get("exec_time", 0.0),
             invoc_overhead=times.get("invoc_overhead", 0.0),
         )
+        from repro.engine import payloads
         from repro.engine.messages import attach_trace
+        from repro.serialize.core import serialize
+        from repro.errors import SerializationError
 
-        conn.send(
-            attach_trace(
-                {
-                    "type": "complete",
-                    "task_id": task_id,
-                    "ok": bool(outcome.get("ok")),
-                    "times": times,
-                },
-                self.tracer,
-            )
-        )
+        frame = {
+            "type": "complete",
+            "task_id": task_id,
+            "ok": bool(outcome.get("ok")),
+            "times": times,
+        }
+        try:
+            blob = serialize(outcome)
+        except SerializationError as exc:
+            frame["ok"] = False
+            frame["error"] = str(exc)
+            conn.send(attach_trace(frame, self.tracer))
+            return
+        if payloads.enabled() and len(blob) >= payloads.threshold_bytes():
+            try:
+                frame["payload_shm"] = payloads.publish_once(blob)
+                blob = b""
+            except payloads.PayloadError:
+                pass  # shm creation failed; ship inline
+        conn.send(attach_trace(frame, self.tracer), blob)
 
     def _kill_overdue_children(self) -> None:
         if not self.child_deadlines:

@@ -54,7 +54,7 @@ from repro.discover.context import FunctionContext, discover_context
 from repro.discover.data import DataBinding
 from repro.discover.packaging import pack_environment
 from repro.distribute.topology import TransferMode
-from repro.engine import messages
+from repro.engine import messages, payloads
 from repro.engine.files import FileStore, VineFile
 from repro.engine.resources import Resources
 from repro.engine.scheduling import LibraryInstance, Placement
@@ -71,6 +71,7 @@ from repro.errors import (
     EngineError,
     LibraryError,
     ProtocolError,
+    SerializationError,
     TaskFailure,
     TaskRetryExhausted,
     WorkerError,
@@ -95,6 +96,8 @@ class _WorkerLink:
     assumed: Set[str] = field(default_factory=set)      # sent, not yet confirmed
     status: Dict[str, Any] = field(default_factory=dict)  # last status report
     last_seen: float = 0.0  # monotonic stamp of the last received frame
+    shm: bool = False  # worker shares the manager's shared-memory domain
+    write_interest: bool = False  # selector currently watches for writability
 
 
 @dataclass
@@ -221,6 +224,22 @@ class Manager:
         # preserves the historical mapping interface (stats["x"] += 1).
         self.metrics = MetricsRegistry()
         self.stats = StatsShim(self.metrics)
+        # Zero-copy payload plane: big argument/result blobs live in the
+        # content-addressed shared-memory store and cross the wire as
+        # descriptors; None when shm is unavailable (pure inline mode).
+        self.payloads = payloads.open_store(registry=self.metrics)
+        self._shm_token = payloads.host_token() if self.payloads is not None else ""
+        self._bytes_copied = self.metrics.counter("payload.bytes_copied")
+        self._bytes_mapped = self.metrics.counter("payload.bytes_mapped")
+        # Per-function memo of serialized code blobs, so submitting the
+        # same function N times captures and pickles it once (the Task
+        # double-serialization fix).  Identity-keyed and bounded.
+        self._code_blobs: "collections.OrderedDict[Any, bytes]" = (
+            collections.OrderedDict()
+        )
+        # declare_argument bookkeeping: digest -> original value, kept so
+        # non-shm links can substitute the real value at dispatch.
+        self._declared_args: Dict[str, Any] = {}
         # Structured lifecycle tracing (no-op unless REPRO_TRACE is set).
         # Remote events piggyback on worker frames and are absorbed in
         # _handle_one_worker_message, so this tracer's ring holds the
@@ -287,6 +306,38 @@ class Manager:
         return self.store.put_bytes(
             data, remote_name, cache=cache, peer_transfer=peer_transfer
         )
+
+    def declare_argument(self, value: Any) -> payloads.PayloadArg:
+        """Serialize a reusable argument once; pass the handle to many calls.
+
+        The value lands in the manager's shared-memory payload store
+        (pinned until :meth:`release_argument`) and every task or
+        invocation that references the returned handle ships a ~100-byte
+        placeholder instead of the bytes — receivers attach the segment
+        and cache the deserialized value.  Without shared memory the
+        handle still works: the manager substitutes the real value at
+        dispatch, trading the zero-copy win for portability.
+        """
+        blob = serialize(value)
+        if self.payloads is not None:
+            descriptor = self.payloads.put(blob)
+            self.payloads.pin(descriptor["hash"])
+            arg = payloads.PayloadArg(
+                descriptor["hash"], descriptor["size"], descriptor["shm"]
+            )
+        else:
+            from repro.util.hashing import hash_bytes
+
+            arg = payloads.PayloadArg(hash_bytes(blob), len(blob), None)
+        self._declared_args[arg.digest] = value
+        return arg
+
+    def release_argument(self, arg: payloads.PayloadArg) -> None:
+        """Drop a declared argument: unpin its segment and forget the value."""
+        if self._declared_args.pop(arg.digest, None) is None:
+            return
+        if self.payloads is not None and arg.shm is not None:
+            self.payloads.unpin(arg.digest)
 
     def create_library_from_functions(
         self,
@@ -498,9 +549,9 @@ class Manager:
         if task.state is TaskState.DISPATCHED and isinstance(task, PythonTask):
             worker = task.worker
             if worker in self._workers:
-                self._workers[worker].conn.send(
-                    {"type": "cancel", "task_id": task.id}
-                )
+                link = self._workers[worker]
+                link.conn.send_buffered({"type": "cancel", "task_id": task.id})
+                self._flush_link(link)
                 self.stats["cancelled"] += 1
                 return True
         return False
@@ -658,6 +709,10 @@ class Manager:
             self.status_server.stop()
         for link in list(self._workers.values()):
             try:
+                # Best-effort final drain of anything still queued, then
+                # the shutdown frame — back in blocking mode, since the
+                # event loop is over.
+                link.conn.blocking_send = True
                 link.conn.send({"type": "shutdown"})
             except Exception:
                 pass
@@ -672,6 +727,11 @@ class Manager:
         except (KeyError, ValueError):
             pass
         self._listener.close()
+        if self.payloads is not None:
+            self.payloads.close()
+        # Reclaim one-shot segments published by now-dead workers or
+        # libraries that were never consumed (lost results, kills).
+        payloads.reap_orphans()
 
     def __enter__(self) -> "Manager":
         return self
@@ -683,12 +743,19 @@ class Manager:
     def _advance(self, timeout: float) -> None:
         self._dispatch()
         events = self._selector.select(timeout=timeout)
-        for key, _ in events:
+        for key, mask in events:
             kind, ref = key.data
             if kind == "accept":
                 self._accept_worker()
             elif kind == "worker":
-                self._handle_worker_message(ref)
+                if mask & selectors.EVENT_READ:
+                    self._handle_worker_message(ref)
+                if (
+                    mask & selectors.EVENT_WRITE
+                    and ref.name in self._workers
+                    and ref.conn.pending_out
+                ):
+                    self._flush_link(ref)
         now = time.monotonic()
         if self._backoff_wakeup and now >= self._backoff_wakeup:
             self._backoff_wakeup = 0.0
@@ -747,10 +814,20 @@ class Manager:
                 last_seen=time.monotonic(),
             )
             conn.name = name
-            conn.send({"type": "welcome", "manager": self.name})
+            link.shm = bool(
+                self.payloads is not None
+                and hello.get("shm_host")
+                and hello.get("shm_host") == self._shm_token
+            )
+            conn.send(
+                {"type": "welcome", "manager": self.name, "shm_host": self._shm_token}
+            )
         except Exception:
             conn.close()
             return
+        # Handshake done: this link joins the event loop, so sends become
+        # queue-and-drain — one slow worker can no longer stall the rest.
+        conn.blocking_send = False
         self._workers[name] = link
         self.placement.add_worker(name, resources)
         self.perflog.transition("worker_join", worker=name)
@@ -858,7 +935,9 @@ class Manager:
 
     def _flush_round(self) -> None:
         """Coalesce this round's invocations into per-worker batch frames
-        and flush every link's buffered control traffic in one write."""
+        and drain every link's buffered control traffic with vectored
+        writes (the batch frame, its length prefixes, and each argument
+        blob go out as separate iovecs of one ``sendmsg`` — no joins)."""
         outbox, self._outbox = self._outbox, {}
         for worker, entries in outbox.items():
             link = self._workers.get(worker)
@@ -868,23 +947,41 @@ class Manager:
                 header, payload = entries[0]
                 link.conn.send_buffered(dict(header, type="invocation"), payload)
             else:
-                blob = bytearray()
+                parts: List[bytes] = []
                 for _, payload in entries:
-                    blob += len(payload).to_bytes(4, "big")
-                    blob += payload
+                    parts.append(len(payload).to_bytes(4, "big"))
+                    parts.append(payload)
                 link.conn.send_buffered(
                     {
                         "type": "invocation_batch",
                         "invocations": [header for header, _ in entries],
                     },
-                    bytes(blob),
+                    parts,
                 )
                 self.stats["batched_invocations"] += len(entries)
         for link in list(self._workers.values()):
-            try:
-                link.conn.flush()
-            except ProtocolError:
-                self._worker_lost(link)
+            if link.conn.pending_out:
+                self._flush_link(link)
+
+    def _set_write_interest(self, link: _WorkerLink, want: bool) -> None:
+        """Watch (or stop watching) ``link``'s socket for writability."""
+        if link.write_interest == want:
+            return
+        events = selectors.EVENT_READ | (selectors.EVENT_WRITE if want else 0)
+        try:
+            self._selector.modify(link.conn.sock, events, ("worker", link))
+        except (KeyError, ValueError):
+            return  # already unregistered (worker lost)
+        link.write_interest = want
+
+    def _flush_link(self, link: _WorkerLink) -> None:
+        """Drain what the kernel will take; arm EVENT_WRITE for the rest."""
+        try:
+            drained = link.conn.flush()
+        except ProtocolError:
+            self._worker_lost(link)
+            return
+        self._set_write_interest(link, not drained)
 
     def _link_for(self, worker: str) -> _WorkerLink:
         link = self._workers.get(worker)
@@ -959,6 +1056,92 @@ class Manager:
             seconds=elapsed,
         )
 
+    # ------------------------------------------------------- payload plane
+    def _code_blob_for(self, fn: Callable[..., Any]) -> bytes:
+        """The serialized code blob for ``fn``, memoized by identity.
+
+        Capture via source when possible (works regardless of what's
+        importable on the worker), falling back to cloudpickle-by-value
+        for lambdas and closures.  The memo holds strong references, so
+        entries stay identity-stable; it is bounded LRU-style.
+        """
+        try:
+            blob = self._code_blobs.get(fn)
+        except TypeError:  # unhashable callable: no memo
+            blob = None
+        if blob is not None:
+            self._code_blobs.move_to_end(fn)
+            return blob
+        from repro.serialize.source import capture_function
+
+        blob = serialize({"code": capture_function(fn)})
+        try:
+            self._code_blobs[fn] = blob
+            while len(self._code_blobs) > 256:
+                self._code_blobs.popitem(last=False)
+        except TypeError:
+            pass
+        return blob
+
+    def _serialize_args(self, task: Task, link: _WorkerLink) -> bytes:
+        """Serialize a task's (args, kwargs), handling declared arguments.
+
+        On a shm-capable link the ~100-byte placeholders serialize as-is
+        and resolve worker-side from the store's segments; on any other
+        link the real values are substituted so the handle degrades to
+        plain inline bytes.
+        """
+        args, kwargs = task.args, task.kwargs
+        if not link.shm:
+            args, kwargs = payloads.substitute_args(
+                args, kwargs, self._declared_args.__getitem__
+            )
+        else:
+            for value in (*args, *kwargs.values()):
+                if isinstance(value, payloads.PayloadArg):
+                    self._count_payload(task, value.size, copied=False)
+        return serialize({"args": args, "kwargs": kwargs})
+
+    def _stage_args_blob(
+        self, task: Task, blob: bytes, link: _WorkerLink
+    ) -> Optional[dict]:
+        """Put a large argument blob in the store; returns its descriptor.
+
+        Returns ``None`` (ship inline) for small blobs or non-shm links.
+        The blob is pinned against eviction until the task completes,
+        fails, or is requeued (:meth:`_unpin_task_payload`).
+        """
+        if (
+            not link.shm
+            or self.payloads is None
+            or len(blob) < payloads.threshold_bytes()
+        ):
+            self._count_payload(task, len(blob), copied=True)
+            return None
+        descriptor = self.payloads.put(blob)
+        self.payloads.pin(descriptor["hash"])
+        task._payload_digest = descriptor["hash"]
+        self._count_payload(task, len(blob), copied=False)
+        return descriptor
+
+    def _count_payload(self, task: Task, n: int, *, copied: bool) -> None:
+        """Attribute ``n`` payload bytes to ``task`` and the global counters."""
+        if copied:
+            self._bytes_copied.inc(n)
+            task.payload_bytes["copied"] += n
+        else:
+            self._bytes_mapped.inc(n)
+            task.payload_bytes["mapped"] += n
+
+    def _unpin_task_payload(self, task: Task) -> None:
+        """Release the dispatch-time pin on a task's argument blob."""
+        digest = task._payload_digest
+        if digest is None:
+            return
+        task._payload_digest = None
+        if self.payloads is not None:
+            self.payloads.unpin(digest)
+
     def _dispatch_python_task(self, task: PythonTask) -> bool:
         worker = self.placement.place_task(
             str(task.id), task.resources, exclude=task.workers_lost_on or None
@@ -975,23 +1158,18 @@ class Manager:
         if task.environment is not None:
             self._ensure_file(link, task.environment)
         task.mark("overhead.manager_transfer", time.monotonic() - transfer_started)
-        # A task carries its code with it (Table 1): capture via source when
-        # possible (works regardless of what's importable on the worker),
-        # falling back to cloudpickle-by-value for lambdas and closures.
-        from repro.serialize.source import capture_function
-
+        # A task carries its code with it (Table 1), but code and
+        # arguments are serialized separately: the code blob is memoized
+        # per function and a large argument blob rides the payload store
+        # instead of being re-copied into every task's frame.
         serialize_started = time.monotonic()
-        payload = serialize(
-            {
-                "code": capture_function(task.fn),
-                "args": task.args,
-                "kwargs": task.kwargs,
-            }
-        )
+        code_blob = self._code_blob_for(task.fn)
+        args_blob = self._serialize_args(task, link)
         task.mark("overhead.code_serialize", time.monotonic() - serialize_started)
         header = {
             "type": "task",
             "task_id": task.id,
+            "code_size": len(code_blob),
             "inputs": [
                 {"hash": f.hash, "name": f.remote_name} for f in task.inputs
             ],
@@ -999,7 +1177,14 @@ class Manager:
         }
         if task.timeout is not None:
             header["timeout"] = task.timeout
-        link.conn.send_buffered(header, payload)
+        parts: List[bytes] = [code_blob]
+        descriptor = self._stage_args_blob(task, args_blob, link)
+        if descriptor is not None:
+            header["args_shm"] = descriptor
+        else:
+            parts.append(args_blob)
+        self._count_payload(task, len(code_blob), copied=True)
+        link.conn.send_buffered(header, parts)
         task.state = TaskState.DISPATCHED
         task.worker = worker
         task.mark("dispatched", time.monotonic())
@@ -1033,7 +1218,7 @@ class Manager:
                 "overhead.manager_transfer", time.monotonic() - transfer_started
             )
         serialize_started = time.monotonic()
-        payload = serialize({"args": task.args, "kwargs": task.kwargs})
+        payload = self._serialize_args(task, link)
         task.mark("overhead.code_serialize", time.monotonic() - serialize_started)
         mode = (task.exec_mode or library.exec_mode).value
         header = {
@@ -1045,6 +1230,10 @@ class Manager:
         }
         if task.timeout is not None:
             header["timeout"] = task.timeout
+        descriptor = self._stage_args_blob(task, payload, link)
+        if descriptor is not None:
+            header["args_shm"] = descriptor
+            payload = b""
         self._outbox.setdefault(inst.worker, []).append((header, payload))
         # Warm/cold classification, before start_invocation mutates the
         # slot counts: a warm invocation lands on an instance that has
@@ -1235,6 +1424,7 @@ class Manager:
                 if timeout_kill:
                     self._requeue_task(task, blame=None)
                 else:
+                    self._unpin_task_payload(task)
                     task.set_exception(failure_from_message(message))
                     task.mark("completed", time.monotonic())
                     self._completed.append(task)
@@ -1280,6 +1470,7 @@ class Manager:
         self._wake_all()  # reclaimed resources may unblock any queue
 
     def _finish_bookkeeping(self, task: Task) -> None:
+        self._unpin_task_payload(task)
         if isinstance(task, FunctionCall):
             instance_id = self._invocation_instance.pop(task.id, None)
             if instance_id is not None:
@@ -1302,9 +1493,35 @@ class Manager:
         task_id = int(message["task_id"])
         task = self._running.pop(task_id, None)
         if task is None:
+            descriptor = message.get("payload_shm")
+            if descriptor is not None:
+                # Nobody will read this one-shot segment; reclaim it.
+                try:
+                    payloads.fetch(descriptor, consume=True)
+                except payloads.PayloadError:
+                    pass
             return
         self._finish_bookkeeping(task)
-        outcome = deserialize(payload)
+        descriptor = message.get("payload_shm")
+        try:
+            if descriptor is not None:
+                # The result never crossed a socket: attach the one-shot
+                # segment, deserialize in place, unlink.
+                mapped = payloads.attach(descriptor)
+                try:
+                    outcome = deserialize(mapped.view)
+                finally:
+                    mapped.close(consume=True)
+                self._count_payload(task, int(descriptor["size"]), copied=False)
+            else:
+                outcome = deserialize(payload)
+                self._count_payload(task, len(payload), copied=True)
+        except (payloads.PayloadError, SerializationError) as exc:
+            task.set_exception(TaskFailure(f"result payload unreadable: {exc}"))
+            task.mark("completed", time.monotonic())
+            self._completed.append(task)
+            self.stats["failed"] += 1
+            return
         times = dict(message.get("times", {}))
         times.update(outcome.get("times", {}))
         task.timeline.update(
@@ -1366,6 +1583,8 @@ class Manager:
                 "deserialize", times.get("invoc_overhead", 0.0)
             ),
             execute=times.get("exec_time", 0.0),
+            payload_bytes_copied=task.payload_bytes["copied"],
+            payload_bytes_mapped=task.payload_bytes["mapped"],
         )
 
     def _on_task_failed(self, message: dict) -> None:
@@ -1436,6 +1655,9 @@ class Manager:
         self.stats["workers_lost"] += 1
         self.perflog.transition("worker_lost", worker=link.name)
         self.tracer.record("worker_lost", worker=link.name)
+        # The dead worker's processes can no longer consume or unlink
+        # their one-shot segments; reap anything whose owner is gone.
+        payloads.reap_orphans()
 
     def _requeue(self, task_id: int, blame: Optional[str] = None) -> None:
         task = self._running.pop(task_id, None)
@@ -1452,6 +1674,7 @@ class Manager:
         task fails with :class:`~repro.errors.TaskRetryExhausted`
         carrying the full loss history.
         """
+        self._unpin_task_payload(task)
         task.retries += 1
         task.worker = None
         if blame is not None:

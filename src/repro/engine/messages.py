@@ -9,11 +9,17 @@ debuggable.
 
 Two hot-path mechanisms keep small control frames cheap:
 
-* *vectored sends* — ``send_buffered`` stages frames and ``flush``
-  writes them with one gathering syscall, so a dispatch round that
-  stages files and invocations for a worker costs one write instead of
-  one per message (``send`` is ``send_buffered`` + ``flush``, and always
-  drains previously buffered frames first, preserving order);
+* *vectored sends* — ``send_buffered`` stages frames (headers and
+  payload parts as separate buffers, never concatenated) and ``flush``
+  writes them with one gathering ``sendmsg`` syscall per ``IOV_MAX``
+  buffers, so a dispatch round that stages files and invocations for a
+  worker costs one syscall instead of one per message and zero joins
+  (``send`` is ``send_buffered`` + ``flush``, and always drains
+  previously buffered frames first, preserving order).  Setting
+  ``blocking_send = False`` turns ``flush`` into a non-blocking drain:
+  it sends what the kernel will take, keeps the rest queued, and
+  returns ``False`` so an event loop can wait for writability instead
+  of stalling every peer behind one slow socket;
 * *buffered receives* — ``_recv_exact`` reads the socket in large
   chunks into a ``bytearray`` and serves exact slices through a
   ``memoryview``, so unpacking a burst of small frames does not copy
@@ -24,7 +30,9 @@ from __future__ import annotations
 
 import json
 import socket
-from typing import Any, Dict, List, Optional, Tuple
+from collections import deque
+from itertools import islice
+from typing import Any, Deque, Dict, Iterable, Optional, Tuple, Union
 
 from repro.errors import ProtocolError
 
@@ -59,17 +67,23 @@ HEARTBEAT_FIELDS = (
     "cache_bytes",     # bytes resident in the worker cache
     "cache_pinned",    # pinned cache entries
     "libraries_live",  # library instances whose process is alive
+    "payload_bytes_copied",  # result/argument bytes moved through sockets
+    "payload_bytes_mapped",  # result/argument bytes handed off via shm
 )
 _RECV_CHUNK = 1 << 16  # read ahead in 64 KiB chunks; leftovers stay buffered
 _COMPACT_AT = 1 << 20  # drop consumed prefix once it exceeds 1 MiB
+_IOV_MAX = 64  # buffers per sendmsg call (well under every platform's IOV_MAX)
+
+Payload = Union[bytes, bytearray, memoryview, Iterable[bytes]]
 
 
 class Connection:
     """A framed-message connection over a stream socket.
 
-    All sends are blocking (local links); receives support an optional
-    timeout.  The connection tracks byte counters so benchmarks can
-    report bytes moved per hop.
+    Sends are blocking by default (handshakes, library links); an event
+    loop flips ``blocking_send`` off to get queue-and-drain semantics.
+    Receives support an optional timeout.  The connection tracks byte
+    counters so benchmarks can report bytes moved per hop.
     """
 
     def __init__(self, sock: socket.socket, name: str = "?"):
@@ -77,9 +91,11 @@ class Connection:
         self.name = name
         self.bytes_sent = 0
         self.bytes_received = 0
+        self.blocking_send = True
         self._recv_buffer = bytearray()
         self._recv_pos = 0
-        self._send_buffer: List[bytes] = []
+        self._outbound: Deque[memoryview] = deque()
+        self._out_bytes = 0
         if sock.family in (socket.AF_INET, socket.AF_INET6):
             sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
 
@@ -96,31 +112,82 @@ class Connection:
         """
         return len(self._recv_buffer) - self._recv_pos
 
+    @property
+    def pending_out(self) -> int:
+        """Bytes staged or queued but not yet accepted by the kernel."""
+        return self._out_bytes
+
     # -- sending ---------------------------------------------------------
-    def send_buffered(self, message: Dict[str, Any], payload: bytes = b"") -> None:
+    def send_buffered(self, message: Dict[str, Any], payload: Payload = b"") -> None:
         """Stage one frame without touching the socket; ``flush`` writes
-        every staged frame in a single gathered ``sendall``."""
-        if payload:
-            message = dict(message, payload_size=len(payload))
+        every staged buffer with gathered ``sendmsg`` calls.
+
+        ``payload`` may be a single buffer or an iterable of buffers
+        (e.g. the per-invocation blobs of a coalesced batch); parts are
+        queued as separate iovecs, so building a batch never concatenates
+        payload bytes.
+        """
+        if isinstance(payload, (bytes, bytearray, memoryview)):
+            parts = [payload] if len(payload) else []
+        else:
+            parts = [p for p in payload if len(p)]
+        payload_size = sum(len(p) for p in parts)
+        if payload_size:
+            message = dict(message, payload_size=payload_size)
         blob = json.dumps(message, separators=(",", ":")).encode("utf-8")
         if len(blob) > MAX_MESSAGE:
             raise ProtocolError(f"message too large: {len(blob)} bytes")
-        self._send_buffer.append(len(blob).to_bytes(_HDR, "big") + blob)
-        if payload:
-            self._send_buffer.append(payload)
+        self._enqueue(len(blob).to_bytes(_HDR, "big") + blob)
+        for part in parts:
+            self._enqueue(part)
 
-    def flush(self) -> None:
-        if not self._send_buffer:
-            return
-        data = b"".join(self._send_buffer)
-        self._send_buffer.clear()
+    def _enqueue(self, data) -> None:
+        self._outbound.append(memoryview(data).cast("B"))
+        self._out_bytes += len(data)
+
+    def _send_once(self) -> bool:
+        """One gathered write over the head of the queue.
+
+        Returns ``False`` when the kernel would block (non-blocking
+        mode), ``True`` otherwise.  Partially accepted buffers are
+        advanced in place by re-slicing the head memoryview — no copy.
+        """
+        bufs = list(islice(self._outbound, _IOV_MAX))
         try:
-            self.sock.sendall(data)
+            sent = self.sock.sendmsg(bufs)
+        except (BlockingIOError, InterruptedError):
+            return False
         except OSError as exc:
             raise ProtocolError(f"send to {self.name} failed: {exc}") from exc
-        self.bytes_sent += len(data)
+        self.bytes_sent += sent
+        self._out_bytes -= sent
+        while sent:
+            head = self._outbound[0]
+            if sent >= len(head):
+                sent -= len(head)
+                self._outbound.popleft()
+            else:
+                self._outbound[0] = head[sent:]
+                sent = 0
+        return True
 
-    def send(self, message: Dict[str, Any], payload: bytes = b"") -> None:
+    def flush(self) -> bool:
+        """Drain the outbound queue; returns ``True`` once empty.
+
+        Blocking mode loops until everything is out.  Non-blocking mode
+        (``blocking_send = False``) sends what it can and returns
+        ``False`` if bytes remain — the caller's event loop should then
+        watch the socket for writability and call ``flush`` again.
+        """
+        if not self._outbound:
+            return True
+        self.sock.settimeout(None if self.blocking_send else 0)
+        while self._outbound:
+            if not self._send_once():
+                return False
+        return True
+
+    def send(self, message: Dict[str, Any], payload: Payload = b"") -> None:
         self.send_buffered(message, payload)
         self.flush()
 
@@ -184,7 +251,19 @@ class Connection:
             payload_size = int(message.get("payload_size", 0))
             payload = self._recv_exact(payload_size, timeout) if payload_size else b""
         except TimeoutError:
-            self._recv_pos = start
+            # Rewind to the message start — but first reclaim the
+            # consumed prefix if it dominates the buffer.  Without this,
+            # a long-lived polling connection that parks on a partial
+            # trailing frame (common while a large payload trickles in)
+            # pins every previously-drained byte below _COMPACT_AT in a
+            # stale bytearray.  Compacting only when the prefix is at
+            # least as large as the retained tail keeps the memmove
+            # amortized O(1) per byte received.
+            if start and len(self._recv_buffer) - start <= start:
+                del self._recv_buffer[:start]
+                self._recv_pos = 0
+            else:
+                self._recv_pos = start
             raise
         self._compact()
         return message, payload

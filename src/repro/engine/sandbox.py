@@ -18,6 +18,7 @@ from repro.errors import EngineError
 
 RESULT_FILE = "invocation.result"
 ARGS_FILE = "invocation.args"
+CODE_FILE = "invocation.code"  # task-mode function blob, split from args
 SPEC_FILE = "invocation.json"
 
 

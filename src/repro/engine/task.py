@@ -60,6 +60,14 @@ class Task:
         self.not_before: float = 0.0
         # Optional wall-clock timeout enforced on the worker side.
         self.timeout: Optional[float] = None
+        # Data-plane attribution (owned by the manager): argument/result
+        # bytes that crossed the manager's sockets ("copied") vs. bytes
+        # that traveled as shared-memory descriptors ("mapped").  Feeds
+        # the per-task data_transfer cost event and the payload bench.
+        self.payload_bytes: Dict[str, int] = {"copied": 0, "mapped": 0}
+        # Digest of this dispatch's argument blob pinned in the manager's
+        # payload store; cleared on unpin (completion/failure/requeue).
+        self._payload_digest: Optional[str] = None
 
     def set_timeout(self, seconds: Optional[float]) -> None:
         """Bound the task's wall-clock execution time on the worker.
@@ -116,11 +124,15 @@ class Task:
 
 
 class PythonTask(Task):
-    """A self-contained task: function + arguments serialized together.
+    """A self-contained task: function and arguments travel with it.
 
-    Every execution pays full context reload in a fresh interpreter —
-    this is reuse level L1/L2 depending on whether its input files are
-    cached on the worker.
+    Code and arguments are serialized *separately* at dispatch: the code
+    blob is memoized per function (submitting the same function many
+    times captures and pickles it once), and a large argument blob can
+    be replaced by a payload-store descriptor instead of being re-sent
+    per task.  Every execution still pays full context reload in a fresh
+    interpreter — this is reuse level L1/L2 depending on whether its
+    input files are cached on the worker.
     """
 
     def __init__(self, fn: Callable[..., Any], *args: Any, **kwargs: Any):

@@ -25,8 +25,9 @@ def run(sandbox: str, env_dir: str | None) -> int:
         sys.path.insert(0, env_dir)
     os.chdir(sandbox)
     # Import after sys.path adjustment so the shipped environment wins.
-    from repro.serialize.core import deserialize_from_file, serialize_to_file
-    from repro.engine.sandbox import ARGS_FILE, RESULT_FILE
+    from repro.serialize.core import deserialize, deserialize_from_file, serialize_to_file
+    from repro.engine.sandbox import ARGS_FILE, CODE_FILE, RESULT_FILE
+    from repro.engine import payloads
 
     # reload_overhead is the interpreter/import cost of rebuilding the
     # context from scratch; deserializing the shipped payload (including
@@ -34,10 +35,23 @@ def run(sandbox: str, env_dir: str | None) -> int:
     # "deserialization" cost component is measured, not inferred.
     deserialize_started = time.monotonic()
     try:
-        spec = deserialize_from_file(os.path.join(sandbox, ARGS_FILE))
-        fn = spec["code"].reconstruct()
+        code_path = os.path.join(sandbox, CODE_FILE)
+        if os.path.exists(code_path):
+            # Split format: the (per-function memoized) code blob and the
+            # per-task argument blob ship independently, so a repeated
+            # function or argument is never re-pickled into each task.
+            fn = deserialize_from_file(code_path)["code"].reconstruct()
+            spec = deserialize_from_file(os.path.join(sandbox, ARGS_FILE))
+        else:  # legacy combined blob
+            spec = deserialize_from_file(os.path.join(sandbox, ARGS_FILE))
+            fn = spec["code"].reconstruct()
         args = spec.get("args", ())
         kwargs = spec.get("kwargs", {})
+        # Arguments declared via Manager.declare_argument arrive as
+        # shared-memory placeholders; materialize them from the segment.
+        args, kwargs = payloads.resolve_args(
+            args, kwargs, payloads.ResolvedArgCache(), deserialize
+        )
     except Exception:
         sys.stderr.write(traceback.format_exc())
         return 2

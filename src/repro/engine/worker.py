@@ -32,10 +32,10 @@ from typing import Any, Dict, List, Optional
 
 import repro
 from repro.discover.packaging import unpack_environment
-from repro.engine import messages
+from repro.engine import messages, payloads
 from repro.engine.cache import WorkerCache
 from repro.engine.resources import Resources
-from repro.engine.sandbox import ARGS_FILE, RESULT_FILE, Sandbox
+from repro.engine.sandbox import ARGS_FILE, CODE_FILE, RESULT_FILE, Sandbox
 from repro.errors import CacheError, EngineError, ProtocolError
 from repro.obs.perflog import rss_bytes
 from repro.obs.trace import get_tracer
@@ -84,7 +84,9 @@ class _LibraryHandle:
     conn: Optional[messages.Connection] = None
     ready: bool = False
     pending: List[tuple] = field(default_factory=list)  # queued invokes
-    invocations: Dict[int, Sandbox] = field(default_factory=dict)
+    # task_id -> sandbox of each in-flight invocation; None when the
+    # invocation needed no staged inputs (the sandbox-less fast path).
+    invocations: Dict[int, Optional[Sandbox]] = field(default_factory=dict)
     staging: Dict[int, float] = field(default_factory=dict)
     # task_id -> (monotonic deadline, requested timeout seconds), only
     # for direct-mode invocations: the worker enforces those by killing
@@ -197,6 +199,14 @@ class Worker:
         self.libraries: Dict[int, _LibraryHandle] = {}
         self.selector = selectors.DefaultSelector()
         self._running = True
+        # Data-plane accounting mirrored to the manager in status
+        # heartbeats: bytes relayed through sockets vs. handed off as
+        # shared-memory descriptors.
+        self.payload_copied = 0
+        self.payload_mapped = 0
+        # True once the welcome frame proves the manager shares this
+        # host's shm domain; until then every result ships inline.
+        self.shm_to_manager = False
         self.log = get_logger(f"worker.{name}")
 
     def _send(self, frame: Dict[str, Any], payload: bytes = b"") -> None:
@@ -227,11 +237,21 @@ class Worker:
                 "resources": self.resources.to_dict(),
                 "transfer_host": "127.0.0.1",
                 "transfer_port": self.transfer_server.port,
+                # shm negotiation: descriptors only flow between peers in
+                # the same shared-memory domain (same machine, same boot).
+                "shm_host": payloads.host_token() if payloads.enabled() else "",
             }
         )
         reply, _ = self.manager.receive(timeout=30.0)
         messages.expect(reply, "welcome")
-        self.log.info("registered with manager (%s)", self.resources)
+        self.shm_to_manager = bool(
+            payloads.enabled()
+            and reply.get("shm_host")
+            and reply.get("shm_host") == payloads.host_token()
+        )
+        self.log.info(
+            "registered with manager (%s, shm=%s)", self.resources, self.shm_to_manager
+        )
 
     def run(self) -> None:
         """Main loop: serve until the manager says shutdown or disconnects."""
@@ -308,6 +328,8 @@ class Worker:
             "libraries_live": sum(
                 1 for h in self.libraries.values() if h.proc.poll() is None
             ),
+            "payload_bytes_copied": self.payload_copied,
+            "payload_bytes_mapped": self.payload_mapped,
             "libraries_detail": {
                 str(h.instance_id): {
                     "library": h.library_name,
@@ -417,7 +439,21 @@ class Worker:
         try:
             env_dir, env_time = self._ensure_environment(message.get("env_hash"))
             staging = self._stage_inputs(sandbox, message.get("inputs", []))
-            sandbox.write(ARGS_FILE, payload)
+            code_size = int(message.get("code_size", 0))
+            if code_size:
+                # Split wire format: the memoized code blob leads the
+                # payload; args follow inline or ride in shared memory.
+                sandbox.write(CODE_FILE, payload[:code_size])
+                descriptor = message.get("args_shm")
+                if descriptor is not None:
+                    args_blob = payloads.fetch(descriptor)  # store-owned; no unlink
+                    self.payload_mapped += len(args_blob)
+                else:
+                    args_blob = payload[code_size:]
+                    self.payload_copied += len(args_blob)
+                sandbox.write(ARGS_FILE, args_blob)
+            else:  # legacy combined blob
+                sandbox.write(ARGS_FILE, payload)
             cmd = [sys.executable, "-m", "repro.engine.task_runner", sandbox.path]
             if env_dir:
                 cmd.append(env_dir)
@@ -570,27 +606,57 @@ class Worker:
             )
             return
         staging_started = time.monotonic()
-        sandbox = Sandbox(self.sandbox_root, f"invoc-{task_id}-{uuid.uuid4().hex[:6]}")
-        sandbox.write(ARGS_FILE, payload)
-        for item in message.get("inputs", []):
-            sandbox.stage(self.cache.path_of(item["hash"]), item["name"])
+        mode = message.get("mode", "direct")
+        inputs = message.get("inputs", [])
+        descriptor = message.get("args_shm")
+        # A sandbox exists only when the invocation actually needs the
+        # filesystem: staged input files, or fork mode (whose child
+        # reads/writes the classic args/result files).  The common
+        # direct-mode no-inputs invocation skips mkdir/rmtree entirely
+        # and its arguments travel on the invoke frame or in shm.
+        sandbox: Optional[Sandbox] = None
+        if inputs or mode == "fork":
+            sandbox = Sandbox(
+                self.sandbox_root, f"invoc-{task_id}-{uuid.uuid4().hex[:6]}"
+            )
+            for item in inputs:
+                sandbox.stage(self.cache.path_of(item["hash"]), item["name"])
+        lib_payload: bytes = b""
+        if mode == "fork":
+            if descriptor is not None:
+                args_blob = payloads.fetch(descriptor)  # store-owned; no unlink
+                self.payload_mapped += len(args_blob)
+            else:
+                args_blob = payload
+                self.payload_copied += len(args_blob)
+            sandbox.write(ARGS_FILE, args_blob)
         handle.invocations[task_id] = sandbox
         handle.staging[task_id] = time.monotonic() - staging_started
-        self.tracer.record(
-            "stage_done",
-            task_id=str(task_id),
-            kind="invocation",
-            seconds=handle.staging[task_id],
-        )
-        mode = message.get("mode", "direct")
+        if sandbox is not None:
+            self.tracer.record(
+                "stage_done",
+                task_id=str(task_id),
+                kind="invocation",
+                seconds=handle.staging[task_id],
+            )
         timeout = message.get("timeout")
         frame = {
             "type": "invoke",
             "task_id": task_id,
             "function": message["function"],
-            "sandbox": sandbox.path,
             "mode": mode,
         }
+        if sandbox is not None:
+            frame["sandbox"] = sandbox.path
+        if mode != "fork":
+            if descriptor is not None:
+                # Library and worker always share a host: hand the
+                # descriptor through untouched (zero bytes moved here).
+                frame["args_shm"] = descriptor
+                self.payload_mapped += int(descriptor.get("size", 0))
+            else:
+                lib_payload = payload
+                self.payload_copied += len(payload)
         if timeout:
             # Direct-mode work shares the library process, so the worker
             # enforces the deadline by killing the instance; fork-mode
@@ -600,11 +666,10 @@ class Worker:
                 frame["timeout"] = timeout
             else:
                 handle.deadlines[task_id] = (time.monotonic() + timeout, timeout)
-        invoke = (frame,)
         if handle.ready and handle.conn is not None:
-            handle.conn.send(invoke[0])
+            handle.conn.send(frame, lib_payload)
         else:
-            handle.pending.append(invoke)
+            handle.pending.append((frame, lib_payload))
 
     def _on_invocation_batch(self, message: dict, payload: bytes) -> None:
         """Fan a coalesced dispatch round back out to library instances.
@@ -652,7 +717,7 @@ class Worker:
     def _handle_library_message(self, handle: _LibraryHandle) -> None:
         assert handle.conn is not None
         try:
-            message, _ = handle.conn.receive(timeout=5.0)
+            message, payload = handle.conn.receive(timeout=5.0)
         except (ProtocolError, TimeoutError):
             self._library_died(handle)
             return
@@ -675,8 +740,10 @@ class Worker:
                     },
                 }
             )
-            for invoke in handle.pending:
-                handle.conn.send(invoke[0])
+            for frame, lib_payload in handle.pending:
+                handle.conn.send_buffered(frame, lib_payload)
+            if handle.pending:
+                handle.conn.flush()
             handle.pending.clear()
         elif mtype == "startup_failed":
             self._send(
@@ -689,26 +756,86 @@ class Worker:
             )
             self._terminate_library(handle)
         elif mtype == "complete":
-            self._finish_invocation(handle, message)
+            self._finish_invocation(handle, message, payload)
         elif mtype == "bye":
             pass
         else:
             raise ProtocolError(f"unexpected library message {mtype!r}")
 
-    def _finish_invocation(self, handle: _LibraryHandle, message: dict) -> None:
+    def _relay_result(
+        self,
+        task_id: int,
+        kind: str,
+        times: Dict[str, Any],
+        data: bytes = b"",
+        descriptor: Optional[dict] = None,
+    ) -> None:
+        """Forward one outcome to the manager, by descriptor when possible.
+
+        A shm-borne result from a library is handed to a shm-capable
+        manager as its descriptor (zero result bytes on either socket
+        hop); otherwise the bytes are materialized and shipped inline.
+        Large inline results are promoted into a one-shot segment when
+        the manager can attach it — the result then crosses the
+        manager link as a ~100-byte descriptor no matter its size.
+        """
+        frame = {"type": "result", "task_id": task_id, "kind": kind, "times": times}
+        if descriptor is not None and not self.shm_to_manager:
+            try:
+                data = payloads.fetch(descriptor, consume=True)
+                descriptor = None
+            except payloads.PayloadError as exc:
+                self._send(
+                    {
+                        "type": "task_failed",
+                        "task_id": task_id,
+                        "error": f"result segment lost: {exc}",
+                    }
+                )
+                return
+        if (
+            descriptor is None
+            and data
+            and self.shm_to_manager
+            and len(data) >= payloads.threshold_bytes()
+        ):
+            try:
+                descriptor = payloads.publish_once(bytes(data))
+                data = b""
+            except payloads.PayloadError:
+                pass  # ship inline after all
+        if descriptor is not None:
+            frame["payload_shm"] = descriptor
+            self.payload_mapped += int(descriptor.get("size", 0))
+        else:
+            self.payload_copied += len(data)
+        self._send(frame, data)
+
+    def _finish_invocation(
+        self, handle: _LibraryHandle, message: dict, payload: bytes = b""
+    ) -> None:
         task_id = int(message["task_id"])
-        sandbox = handle.invocations.pop(task_id, None)
-        if sandbox is None:
+        if task_id not in handle.invocations:
             return
+        sandbox = handle.invocations.pop(task_id)
         handle.deadlines.pop(task_id, None)
         times = dict(message.get("times", {}))
         times["staging"] = handle.staging.pop(task_id, 0.0)
         times["worker_overhead"] = 0.0  # context was already resident
-        if message.get("kind") != "timeout" and sandbox.exists(RESULT_FILE):
-            data = sandbox.read(RESULT_FILE)
-            self._send(
-                {"type": "result", "task_id": task_id, "kind": "invocation", "times": times},
-                data,
+        descriptor = message.get("payload_shm")
+        if message.get("kind") != "timeout" and (descriptor is not None or payload):
+            # Direct mode: the outcome rode the complete frame (or shm).
+            self._relay_result(
+                task_id, "invocation", times, data=payload, descriptor=descriptor
+            )
+        elif (
+            message.get("kind") != "timeout"
+            and sandbox is not None
+            and sandbox.exists(RESULT_FILE)
+        ):
+            # Fork mode: the child wrote the classic result file.
+            self._relay_result(
+                task_id, "invocation", times, data=sandbox.read(RESULT_FILE)
             )
         else:
             failure = {
@@ -720,7 +847,8 @@ class Worker:
             if message.get("kind") == "timeout":  # fork-mode child overran
                 failure["kind"] = "timeout"
             self._send(failure)
-        sandbox.destroy()
+        if sandbox is not None:
+            sandbox.destroy()
 
     def _check_invocation_timeouts(self) -> None:
         """Enforce direct-mode wall-clock deadlines.
@@ -791,7 +919,9 @@ class Worker:
                     "error": "library instance killed (sibling invocation timed out)",
                 }
             )
-            handle.invocations.pop(sibling).destroy()
+            sibling_sandbox = handle.invocations.pop(sibling)
+            if sibling_sandbox is not None:
+                sibling_sandbox.destroy()
         self._send(
             {
                 "type": "library_failed",
@@ -815,7 +945,9 @@ class Worker:
                     "traceback": stderr.decode("utf-8", "replace")[-4000:],
                 }
             )
-            handle.invocations.pop(task_id).destroy()
+            dead_sandbox = handle.invocations.pop(task_id)
+            if dead_sandbox is not None:
+                dead_sandbox.destroy()
         self._send(
             {
                 "type": "library_failed",
@@ -855,7 +987,8 @@ class Worker:
             except OSError:
                 pass
         for sandbox in handle.invocations.values():
-            sandbox.destroy()
+            if sandbox is not None:
+                sandbox.destroy()
         shutil.rmtree(handle.sandbox_dir, ignore_errors=True)
         self.libraries.pop(handle.instance_id, None)
 
@@ -878,10 +1011,8 @@ class Worker:
                 "wall": time.monotonic() - running.started,
             }
             if code == 0 and running.sandbox.exists(RESULT_FILE):
-                data = running.sandbox.read(RESULT_FILE)
-                self._send(
-                    {"type": "result", "task_id": task_id, "kind": "task", "times": times},
-                    data,
+                self._relay_result(
+                    task_id, "task", times, data=running.sandbox.read(RESULT_FILE)
                 )
             else:
                 stderr = b""

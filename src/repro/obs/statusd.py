@@ -185,6 +185,10 @@ class StatusServer:
         self._httpd = ThreadingHTTPServer((host, port), Handler)
         self._httpd.daemon_threads = True
         self.host, self.port = self._httpd.server_address[:2]
+        # serve_forever's poll interval trades shutdown() latency (it
+        # can block the manager's close path for up to one interval)
+        # against idle wakeups that steal the GIL from the event loop
+        # on small machines.  0.1 s keeps both negligible.
         self._thread = threading.Thread(
             target=self._httpd.serve_forever,
             kwargs={"poll_interval": 0.1},

@@ -40,18 +40,24 @@ def serialize(obj: Any) -> bytes:
     return header + digest + payload
 
 
-def deserialize(data: bytes) -> Any:
-    """Inverse of :func:`serialize`, validating framing and digest."""
+def deserialize(data: "bytes | bytearray | memoryview") -> Any:
+    """Inverse of :func:`serialize`, validating framing and digest.
+
+    Accepts any bytes-like object — in particular a ``memoryview`` into a
+    shared-memory payload segment, so attaching receivers deserialize
+    straight out of the mapping without copying the blob first.
+    """
+    data = memoryview(data)
     header_len = len(_MAGIC) + 1 + 8
     if len(data) < header_len + _DIGEST_LEN:
         raise SerializationError("truncated payload")
-    if data[: len(_MAGIC)] != _MAGIC:
+    if bytes(data[: len(_MAGIC)]) != _MAGIC:
         raise SerializationError("bad magic: not a repro-serialized payload")
     version = data[len(_MAGIC)]
     if version != _VERSION:
         raise SerializationError(f"unsupported payload version {version}")
     declared = int.from_bytes(data[len(_MAGIC) + 1 : header_len], "big")
-    digest = data[header_len : header_len + _DIGEST_LEN].decode("ascii")
+    digest = bytes(data[header_len : header_len + _DIGEST_LEN]).decode("ascii")
     payload = data[header_len + _DIGEST_LEN :]
     if len(payload) != declared:
         raise SerializationError(

@@ -131,4 +131,8 @@ def percentile(values: Sequence[float], q: float) -> float:
     if lo == hi:
         return ordered[lo]
     frac = pos - lo
-    return ordered[lo] * (1 - frac) + ordered[hi] * frac
+    # Clamp: a*(1-f) + b*f can land one ulp outside [a, b] in floating
+    # point (e.g. tiny subnormal neighbours), which breaks the invariant
+    # min <= percentile <= max that callers rely on.
+    value = ordered[lo] * (1 - frac) + ordered[hi] * frac
+    return min(max(value, ordered[lo]), ordered[hi])

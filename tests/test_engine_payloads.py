@@ -1,0 +1,259 @@
+"""Shared-memory payload plane: store, descriptors, fallback, cleanup.
+
+Covers the zero-copy data plane of DESIGN.md §2e: content-addressed
+round-trips through :class:`~repro.engine.payloads.PayloadStore`,
+pin/unpin refcounting holding segments alive under concurrent readers
+and eviction pressure, inline fallback when payloads sit below the
+shipping threshold (or shm is disabled outright), orphaned-segment
+reaping after a SIGKILLed owner, and a store-then-load identity
+property probed around the threshold boundary.
+"""
+
+import os
+import threading
+import time
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import (
+    FaultInjector,
+    FunctionCall,
+    LocalWorkerFactory,
+    Manager,
+    PythonTask,
+)
+from repro.engine import payloads
+from repro.engine.payloads import PayloadError, PayloadStore
+
+
+def _blob_len(blob):
+    return len(blob)
+
+
+def _blob_echo(blob):
+    return bytes(blob)
+
+
+def _segments() -> set:
+    return set(payloads.list_segments())
+
+
+# ------------------------------------------------------------- round trip
+def test_store_round_trip_and_dedup():
+    with PayloadStore(budget=8 * 1024 * 1024) as store:
+        data = os.urandom(100_000)
+        descriptor = store.put(data)
+        assert payloads.is_descriptor(descriptor)
+        assert descriptor["size"] == len(data)
+        # The shm segment rounds up to page size; the descriptor's size
+        # is authoritative, both for attach() and fetch().
+        assert payloads.fetch(descriptor) == data
+        with payloads.attach(descriptor) as mapped:
+            assert bytes(mapped.view) == data
+        # Content addressing: storing the same bytes is free.
+        again = store.put(bytes(data))
+        assert again == descriptor
+        assert len(store) == 1
+        assert store.get(descriptor["hash"]) == data
+
+
+def test_store_close_unlinks_segments():
+    store = PayloadStore(budget=1024 * 1024)
+    descriptor = store.put(b"x" * 4096)
+    name = descriptor["shm"]
+    assert name in _segments()
+    store.close()
+    assert name not in _segments()
+
+
+def test_publish_once_consumed_by_fetch():
+    descriptor = payloads.publish_once(b"y" * 50_000)
+    assert descriptor["shm"] in _segments()
+    assert payloads.fetch(descriptor, consume=True) == b"y" * 50_000
+    assert descriptor["shm"] not in _segments()
+    with pytest.raises(PayloadError):
+        payloads.attach(descriptor)
+
+
+# --------------------------------------------------------------- pinning
+def test_pin_survives_eviction_pressure_under_concurrent_attach():
+    """Pinned entries outlive budget pressure while readers are attached."""
+    chunk = 256 * 1024
+    with PayloadStore(budget=3 * chunk) as store:
+        hot = os.urandom(chunk)
+        descriptor = store.put(hot)
+        digest = descriptor["hash"]
+        store.pin(digest)
+
+        stop = threading.Event()
+        errors = []
+
+        def reader():
+            while not stop.is_set():
+                try:
+                    if payloads.fetch(descriptor) != hot:
+                        errors.append("content mismatch")
+                        return
+                except PayloadError as exc:
+                    errors.append(f"attach failed: {exc}")
+                    return
+
+        threads = [threading.Thread(target=reader) for _ in range(4)]
+        for t in threads:
+            t.start()
+        try:
+            # Evict everything evictable several times over; the pinned
+            # segment must never be a victim.
+            for i in range(12):
+                store.put(os.urandom(chunk))
+            time.sleep(0.05)
+        finally:
+            stop.set()
+            for t in threads:
+                t.join()
+        assert errors == []
+        assert digest in store
+
+        # Unpinned, the same pressure reclaims it.
+        store.unpin(digest)
+        for i in range(4):
+            store.put(os.urandom(chunk))
+        assert digest not in store
+        with pytest.raises(PayloadError):
+            payloads.attach(descriptor)
+
+
+def test_unpin_unknown_digest_is_noop():
+    with PayloadStore(budget=1024 * 1024) as store:
+        store.unpin("0" * 64)  # must not raise
+
+
+# ----------------------------------------------------- threshold fallback
+def test_small_payloads_ship_inline(monkeypatch):
+    """Below-threshold arguments and results never touch the store."""
+    monkeypatch.setenv("REPRO_SHM_THRESHOLD", str(1 << 30))
+    blob = os.urandom(200_000)  # big, but below the inflated threshold
+    with Manager() as manager:
+        library = manager.create_library_from_functions(
+            "payload-inline", _blob_echo, function_slots=2
+        )
+        manager.install_library(library)
+        with LocalWorkerFactory(manager, count=1, cores=2):
+            call = FunctionCall("payload-inline", "_blob_echo", blob)
+            manager.submit(call)
+            manager.wait_all([call], timeout=120.0)
+            assert call.result == blob
+        if manager.payloads is not None:
+            assert len(manager.payloads) == 0
+        assert manager.metrics.counter("payload.bytes_copied").value > len(blob)
+    assert not _segments()
+
+
+def test_shm_disabled_falls_back_to_inline(monkeypatch):
+    monkeypatch.setenv("REPRO_SHM", "0")
+    blob = os.urandom(150_000)
+    with Manager() as manager:
+        assert manager.payloads is None
+        arg = manager.declare_argument(blob)
+        assert arg.shm is None
+        library = manager.create_library_from_functions(
+            "payload-noshm", _blob_len, function_slots=2
+        )
+        manager.install_library(library)
+        with LocalWorkerFactory(manager, count=1, cores=2):
+            call = FunctionCall("payload-noshm", "_blob_len", arg)
+            manager.submit(call)
+            manager.wait_all([call], timeout=120.0)
+            assert call.result == len(blob)
+        manager.release_argument(arg)
+    assert not _segments()
+
+
+def test_declared_argument_round_trip_via_shm():
+    """Above-threshold declared args ride as descriptors end to end."""
+    blob = os.urandom(300_000)
+    with Manager() as manager:
+        if manager.payloads is None:
+            pytest.skip("shared memory unavailable on this host")
+        arg = manager.declare_argument(blob)
+        assert arg.shm is not None
+        library = manager.create_library_from_functions(
+            "payload-shm", _blob_len, _blob_echo, function_slots=2
+        )
+        manager.install_library(library)
+        with LocalWorkerFactory(manager, count=2, cores=2):
+            calls = [
+                FunctionCall("payload-shm", "_blob_len", arg) for _ in range(8)
+            ]
+            # A large *result* comes back through a one-shot segment.
+            echo = FunctionCall("payload-shm", "_blob_echo", arg)
+            for call in [*calls, echo]:
+                manager.submit(call)
+            manager.wait_all([*calls, echo], timeout=180.0)
+            assert all(c.result == len(blob) for c in calls)
+            assert echo.result == blob
+            assert manager.metrics.counter("payload.bytes_mapped").value > 0
+        manager.release_argument(arg)
+    assert not _segments()
+
+
+# ------------------------------------------------------- orphan cleanup
+def test_orphaned_segments_reaped_after_worker_kill():
+    """Segments owned by a SIGKILLed process are reclaimed by name."""
+    with Manager() as manager:
+        if manager.payloads is None:
+            pytest.skip("shared memory unavailable on this host")
+        factory = LocalWorkerFactory(manager, count=1, cores=2)
+        factory.start()
+        injector = FaultInjector(manager=manager, factory=factory)
+        task = PythonTask(_blob_len, b"z")
+        manager.submit(task)
+        manager.wait_all([task], timeout=120.0)
+
+        victim_pid = factory.procs[0].pid
+        # Plant a segment owned by the worker, as if it died mid-publish.
+        name = payloads.segment_name("f" * 64, pid=victim_pid)
+        shm = payloads._create_segment(name, 4096)
+        shm.close()
+        assert name in _segments()
+
+        injector.kill_worker(0)
+        # wait() reaps the zombie; only then does the pid-liveness probe
+        # in reap_orphans see the owner as gone.
+        factory.procs[0].wait(timeout=30)
+        assert not payloads._pid_alive(victim_pid)
+
+        assert payloads.reap_orphans() >= 1
+        assert name not in _segments()
+        factory.stop()
+    assert not _segments()
+
+
+def test_reap_orphans_spares_live_owners():
+    with Manager() as manager:
+        if manager.payloads is None:
+            pytest.skip("shared memory unavailable on this host")
+        descriptor = manager.payloads.put(b"alive" * 1000)
+        payloads.reap_orphans()
+        # Our own pid is alive, so the store's segment must survive.
+        assert descriptor["shm"] in _segments()
+    assert not _segments()
+
+
+# ------------------------------------------------- property: round trip
+@settings(max_examples=25, deadline=None)
+@given(
+    delta=st.integers(min_value=-64, max_value=64),
+    seed=st.integers(min_value=0, max_value=255),
+)
+def test_store_then_load_identity_around_threshold(delta, seed):
+    """put→get and put→fetch are identities at sizes straddling the
+    inline/shm threshold (including the page-rounding edge)."""
+    size = max(1, payloads.threshold_bytes() + delta)
+    data = bytes((seed + i) % 256 for i in range(size))
+    with PayloadStore(budget=16 * 1024 * 1024) as store:
+        descriptor = store.put(data)
+        assert store.get(descriptor["hash"]) == data
+        assert payloads.fetch(descriptor) == data
