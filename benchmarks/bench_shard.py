@@ -1,0 +1,34 @@
+"""Sharded-throughput benchmark: a 2-shard router versus one manager.
+
+Not a paper table: this guards the router's reason to exist — adding a
+second manager process must buy real aggregate capacity (DESIGN.md §2g).
+Both phases get identical per-shard resources and an identical
+sleep-modeled workload; the gate is the ratio of sharded to
+single-manager throughput.
+
+To refresh the committed regression baseline (``BENCH_shard.json`` at
+the repo root, consumed by ``scripts/ci.sh``), set
+``REPRO_WRITE_BASELINE=1``.
+"""
+
+import _baseline
+
+from repro.bench import shard_throughput
+
+
+def test_shard_throughput(benchmark, show, smoke):
+    result = benchmark.pedantic(shard_throughput, rounds=1, iterations=1)
+    show(result)
+    v = result.values
+    assert v["failed"] == 0
+    # The ring must actually split the four libraries across both
+    # shards, or the "aggregate" number is one shard wearing two hats.
+    assert v["shard_spread"] == 2
+    if not smoke:
+        # The headline claim: two shards with the same per-shard
+        # resources beat one manager by ≥1.8× on slot-bound work.
+        assert v["ratio"] >= 1.8, (
+            f"sharded/single throughput ratio {v['ratio']:.2f} below the "
+            "1.8x gate"
+        )
+    _baseline.maybe_write_baseline("shard", v)

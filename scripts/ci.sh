@@ -78,8 +78,50 @@ if v["shm"] and v["flatness_ratio"] > 1.10:
     print(f"FAIL: copied-bytes flatness {v['flatness_ratio']:.2f} > 1.10")
     sys.exit(1)
 
+# Gate the 32 KiB descriptor-plane row, not the aggregate: overall
+# inv/s is dominated by the 8 MiB row, which is memory-bandwidth bound
+# and swings several-x with page-cache state on this single-CPU host.
+# The floor is 0.6 (vs 0.7 for dispatch) for the same reason — the
+# payload rows see ±40% scheduler noise across back-to-back runs.
 ok, message = _baseline.compare(
-    "payload", v, "invocations_per_second", floor_ratio=0.7
+    "payload", v, "inv_per_s_32KiB", floor_ratio=0.6
+)
+print(message)
+sys.exit(0 if ok else 1)
+GATE
+
+# Sharded throughput: the same sleep-modeled workload run through one
+# manager and through a 2-shard router with identical per-shard
+# resources.  Gates the router's reason to exist — the sharded
+# deployment must beat the single manager by ≥1.8× — plus a regression
+# floor against BENCH_shard.json.  The router phase also declares and
+# releases a payload through every shard, so the leaked-shm check at
+# the end of this script covers router-mediated pins.
+echo "== shard-throughput gate (cap ${BENCH_CAP}s) =="
+timeout --signal=TERM --kill-after=30 "$BENCH_CAP" python - <<'GATE'
+import sys
+
+sys.path.insert(0, "benchmarks")
+import _baseline
+
+from repro.bench import shard_throughput
+
+result = shard_throughput()
+print(result.text)
+v = result.values
+if v["failed"]:
+    print(f"FAIL: {v['failed']} invocations failed")
+    sys.exit(1)
+if v["shard_spread"] != 2:
+    print("FAIL: ring homed every library on one shard")
+    sys.exit(1)
+if v["ratio"] < 1.8:
+    print(f"FAIL: sharded/single ratio {v['ratio']:.2f} below the 1.8x gate")
+    sys.exit(1)
+print(f"sharded/single ratio {v['ratio']:.2f} >= 1.8")
+
+ok, message = _baseline.compare(
+    "shard", v, "sharded_inv_s", floor_ratio=0.7
 )
 print(message)
 sys.exit(0 if ok else 1)
@@ -112,10 +154,14 @@ echo "== benchmark smoke, all experiments at tiny scale (cap ${SMOKE_CAP}s) =="
 timeout --signal=TERM --kill-after=30 "$SMOKE_CAP" \
     env REPRO_BENCH_SMOKE=1 python -m pytest -q benchmarks/
 
-# Shared-memory hygiene: after every test, fault, and chaos stage above
-# no repro-pl-* segment may survive.  Orphans from processes the fault
-# stages SIGKILLed are reclaimed first (that path is itself under test);
-# anything still present afterwards is a real leak in the payload plane.
+# Shared-memory hygiene: after every test, fault, chaos, and router
+# stage above no repro-pl-* segment may survive.  Segments are named
+# globally, so this also covers pins taken inside shard subprocesses
+# during the router-mediated runs (the shard-throughput gate and the
+# router test suite both declare and release payloads through shards).
+# Orphans from processes the fault stages SIGKILLed are reclaimed first
+# (that path is itself under test); anything still present afterwards
+# is a real leak in the payload plane.
 echo "== leaked-shm check =="
 python - <<'GATE'
 import sys

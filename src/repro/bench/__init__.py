@@ -20,6 +20,7 @@ from repro.bench.experiments import (
     fig9_worker_sweep,
     extension_examol_l3,
     payload_plane,
+    shard_throughput,
     fig10_11_library_curves,
     table2_overhead,
     table4_runtime_stats,
@@ -34,6 +35,7 @@ __all__ = [
     "chaos_smoke",
     "dispatch_throughput",
     "payload_plane",
+    "shard_throughput",
     "table2_overhead",
     "table4_runtime_stats",
     "table5_overhead_breakdown",

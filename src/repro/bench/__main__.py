@@ -24,6 +24,7 @@ from repro.bench import experiments
 EXPERIMENTS: Dict[str, Callable[..., object]] = {
     "dispatch": lambda n: experiments.dispatch_throughput(),
     "payload": lambda n: experiments.payload_plane(),
+    "shard": lambda n: experiments.shard_throughput(),
     "chaos": lambda n: experiments.chaos_smoke(),
     "table2": lambda n: experiments.table2_overhead(),
     "fig6": lambda n: experiments.fig6_execution_times(lnni_invocations=n),

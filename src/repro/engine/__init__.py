@@ -29,6 +29,7 @@ from repro.engine.task import FunctionCall, LibraryTask, PythonTask, Task, TaskS
 from repro.engine.manager import Manager
 from repro.engine.factory import LocalWorkerFactory
 from repro.engine.faults import FaultInjector
+from repro.engine.router import Router
 
 __all__ = [
     "Manager",
@@ -41,4 +42,5 @@ __all__ = [
     "FunctionCall",
     "LocalWorkerFactory",
     "FaultInjector",
+    "Router",
 ]

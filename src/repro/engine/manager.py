@@ -57,7 +57,7 @@ from repro.distribute.topology import TransferMode
 from repro.engine import messages, payloads
 from repro.engine.files import FileStore, VineFile
 from repro.engine.resources import Resources
-from repro.engine.scheduling import LibraryInstance, Placement
+from repro.engine.scheduling import LibraryInstance, Placement, ShardState
 from repro.engine.task import (
     ExecMode,
     FunctionCall,
@@ -182,15 +182,15 @@ class Manager:
         self.retry_backoff = max(0.0, retry_backoff)
         self.retry_backoff_max = max(0.0, retry_backoff_max)
         self._next_liveness_check = 0.0
-        # Earliest not_before among deferred (backed-off) tasks; 0.0 when
-        # nothing is waiting.  Checked each _advance tick so a queue that
-        # only holds backed-off tasks is re-marked dirty when due.
-        self._backoff_wakeup = 0.0
         if workdir is None:
             workdir = tempfile.mkdtemp(prefix="repro-manager-")
         self.workdir = workdir
         self.store = FileStore(os.path.join(workdir, "store"))
-        self.placement = Placement()
+        # Every queue, dirty set, in-flight index, and the placement
+        # table live behind the explicit per-shard state interface; the
+        # router runs N managers, each owning one independent ShardState.
+        self.state = ShardState()
+        self.placement = self.state.placement
         self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         self._listener.bind(("127.0.0.1", port))
@@ -201,23 +201,12 @@ class Manager:
         self._workers: Dict[str, _WorkerLink] = {}
         self._libraries: Dict[str, LibraryTask] = {}
         self._instances: Dict[int, _InstanceRecord] = {}
-        # Dispatch indexes: plain tasks queue separately from invocations,
-        # which are bucketed per library so a blocked library costs nothing
-        # per tick.  The dirty sets name the queues worth visiting; they
-        # are re-marked by capacity events, never by polling.
-        self._ready_tasks: Deque[PythonTask] = collections.deque()
-        self._pending_invocations: Dict[str, Deque[FunctionCall]] = {}
-        self._dirty_libraries: Set[str] = set()
-        self._tasks_dirty = False
         # hash -> worker names confirmed to hold the file (peer-transfer
         # source lookup without scanning every _WorkerLink).
         self._file_holders: Dict[str, Set[str]] = {}
         # worker -> invocation frames accumulated during the current
         # dispatch round, coalesced into invocation_batch frames on flush.
         self._outbox: Dict[str, List[tuple]] = {}
-        self._running: Dict[int, Task] = {}
-        self._invocation_instance: Dict[int, int] = {}  # task id -> instance id
-        self._task_worker_key: Dict[int, str] = {}
         self._completed: Deque[Task] = collections.deque()
         self._closed = False
         # Counters for experiments live in a metrics registry; the shim
@@ -319,13 +308,17 @@ class Manager:
         dispatch, trading the zero-copy win for portability.
         """
         blob = serialize(value)
-        if self.payloads is not None:
+        if self.payloads is not None and len(blob) >= payloads.threshold_bytes():
             descriptor = self.payloads.put(blob)
             self.payloads.pin(descriptor["hash"])
             arg = payloads.PayloadArg(
                 descriptor["hash"], descriptor["size"], descriptor["shm"]
             )
         else:
+            # Below the shm threshold (or no store at all) the handle is
+            # unbacked: no segment, no pin — the value substitutes inline
+            # at dispatch.  Pinning tiny blobs would make them permanent
+            # LRU squatters for no copy savings.
             from repro.util.hashing import hash_bytes
 
             arg = payloads.PayloadArg(hash_bytes(blob), len(blob), None)
@@ -333,7 +326,12 @@ class Manager:
         return arg
 
     def release_argument(self, arg: payloads.PayloadArg) -> None:
-        """Drop a declared argument: unpin its segment and forget the value."""
+        """Drop a declared argument: unpin its segment and forget the value.
+
+        Unpin mirrors :meth:`declare_argument` exactly — only segment-backed
+        handles (``arg.shm is not None``) ever took a pin, so releasing an
+        unbacked handle is pure dictionary cleanup.
+        """
         if self._declared_args.pop(arg.digest, None) is None:
             return
         if self.payloads is not None and arg.shm is not None:
@@ -435,14 +433,7 @@ class Manager:
             raise EngineError("libraries are installed, not submitted")
         task.state = TaskState.SUBMITTED
         task.mark("submitted", time.monotonic())
-        if isinstance(task, FunctionCall):
-            self._pending_invocations.setdefault(
-                task.library_name, collections.deque()
-            ).append(task)
-            self._dirty_libraries.add(task.library_name)
-        else:
-            self._ready_tasks.append(task)
-            self._tasks_dirty = True
+        self.state.enqueue(task)
         self.stats["submitted"] += 1
         self.perflog.transition(
             "task_submit", task=task.id, kind=type(task).__name__
@@ -453,12 +444,16 @@ class Manager:
         return task.id
 
     def empty(self) -> bool:
-        return (
-            not self._ready_tasks
-            and not any(self._pending_invocations.values())
-            and not self._running
-            and not self._completed
-        )
+        return self.state.empty() and not self._completed
+
+    # Back-compat views for callers (and tests) that predate ShardState.
+    @property
+    def _running(self) -> Dict[int, Task]:
+        return self.state.running
+
+    @property
+    def _ready_tasks(self) -> "Deque[PythonTask]":
+        return self.state.ready_tasks
 
     def wait(self, timeout: float = 5.0) -> Optional[Task]:
         """Advance the engine until a task completes or ``timeout`` passes."""
@@ -528,22 +523,28 @@ class Manager:
     def cancel(self, task: Task) -> bool:
         """Best-effort cancellation.
 
-        Queued tasks are withdrawn immediately.  A dispatched
-        :class:`PythonTask` has its runner process killed on the worker.
-        A dispatched invocation cannot be interrupted (direct-mode
-        execution shares the library process) and returns ``False``.
+        Queued (SUBMITTED) tasks and invocations are withdrawn
+        immediately: removed from their queue, finalized with a
+        :class:`TaskFailure`, and their bookkeeping (queue-depth gauges,
+        any staged payload pin) settled — returns ``True``.  A
+        DISPATCHED :class:`PythonTask` has its runner process killed on
+        the worker (``True`` means the kill request was sent, not that
+        the task had started).  A DISPATCHED :class:`FunctionCall`
+        cannot be interrupted — once handed to a library it is on the
+        instance's input queue or already executing (direct mode shares
+        the library process; fork-mode children are only killable via
+        :meth:`Task.set_timeout`) — so it returns ``False`` even when
+        execution has not actually begun yet.
         """
         if task.state is TaskState.SUBMITTED:
-            # Tombstone instead of an O(n) deque removal: the task is
-            # finalized here and the queues skip non-SUBMITTED entries
-            # when next visited.
+            # Withdraw from the queue eagerly so depth gauges stay exact;
+            # the dispatch loops' non-SUBMITTED tombstone skip remains as
+            # a backstop if the task raced out of the deque.
+            self.state.discard_queued(task)
             task.set_exception(TaskFailure("cancelled before dispatch"))
             task.mark("completed", time.monotonic())
+            self._finish_bookkeeping(task)
             self._completed.append(task)
-            if isinstance(task, FunctionCall):
-                self._dirty_libraries.add(task.library_name)
-            else:
-                self._tasks_dirty = True
             self.stats["cancelled"] += 1
             return True
         if task.state is TaskState.DISPATCHED and isinstance(task, PythonTask):
@@ -603,15 +604,9 @@ class Manager:
             if now > prev_now:
                 rate = (dispatched - prev_dispatched) / (now - prev_now)
         self._perflog_prev = (now, dispatched)
-        queue_depths = {
-            name: len(q) for name, q in self._pending_invocations.items() if q
-        }
-        if self._ready_tasks:
-            queue_depths["<tasks>"] = len(self._ready_tasks)
         return make_sample(
-            tasks_waiting=len(self._ready_tasks)
-            + sum(len(q) for q in self._pending_invocations.values()),
-            tasks_running=len(self._running),
+            tasks_waiting=self.state.queued_count(),
+            tasks_running=len(self.state.running),
             tasks_done=self.stats["completed"],
             tasks_failed=self.stats["failed"],
             tasks_retried=self.stats["requeued"],
@@ -623,7 +618,7 @@ class Manager:
             rss_bytes=rss,
             busy_slots=busy,
             dispatch_rate=rate,
-            queue_depths=queue_depths,
+            queue_depths=self.state.queue_depths(),
             contexts=self._context_snapshot(),
         )
 
@@ -667,7 +662,7 @@ class Manager:
                     },
                     "contexts": self._context_snapshot(),
                     "tasks": {
-                        "running": len(self._running),
+                        "running": len(self.state.running),
                         "completed": self.stats["completed"],
                         "failed": self.stats["failed"],
                     },
@@ -757,8 +752,7 @@ class Manager:
                 ):
                     self._flush_link(ref)
         now = time.monotonic()
-        if self._backoff_wakeup and now >= self._backoff_wakeup:
-            self._backoff_wakeup = 0.0
+        if self.state.take_backoff_wakeup(now):
             self._wake_all()  # backed-off tasks are redispatchable again
         # Liveness runs AFTER the event drain: a healthy worker always has
         # heartbeats queued on its socket, so even if the manager itself
@@ -838,39 +832,34 @@ class Manager:
     # -------------------------------------------------------------- dispatch
     def _wake_all(self) -> None:
         """Mark every non-empty queue dirty after a capacity-change event."""
-        if self._ready_tasks:
-            self._tasks_dirty = True
-        for name, queue in self._pending_invocations.items():
-            if queue:
-                self._dirty_libraries.add(name)
+        self.state.wake_all()
 
     def _dispatch(self) -> None:
         if not self._workers:
             return
-        if not self._tasks_dirty and not self._dirty_libraries:
+        if not self.state.tasks_dirty and not self.state.dirty_libraries:
             return
         self.stats["dispatch_rounds"] += 1
         try:
-            if self._tasks_dirty:
-                self._tasks_dirty = False
+            if self.state.tasks_dirty:
+                self.state.tasks_dirty = False
                 self._dispatch_task_queue()
-            while self._dirty_libraries:
-                self._dispatch_library_queue(self._dirty_libraries.pop())
+            while self.state.dirty_libraries:
+                self._dispatch_library_queue(self.state.dirty_libraries.pop())
         finally:
             self._flush_round()
 
     def _note_backoff(self, not_before: float) -> None:
         """Remember the earliest pending backoff expiry for _advance."""
-        if not self._backoff_wakeup or not_before < self._backoff_wakeup:
-            self._backoff_wakeup = not_before
+        self.state.note_backoff(not_before)
 
     def _dispatch_task_queue(self) -> None:
         """Try every queued PythonTask (they have heterogeneous resource
         asks, so a later task may fit where an earlier one did not)."""
         now = time.monotonic()
         requeue: List[PythonTask] = []
-        while self._ready_tasks:
-            task = self._ready_tasks.popleft()
+        while self.state.ready_tasks:
+            task = self.state.ready_tasks.popleft()
             if task.state is not TaskState.SUBMITTED:
                 continue  # cancelled tombstone
             if task.not_before > now:
@@ -880,7 +869,7 @@ class Manager:
             self.stats["queue_scan_len"] += 1
             if not self._dispatch_python_task(task):
                 requeue.append(task)
-        self._ready_tasks.extend(requeue)
+        self.state.ready_tasks.extend(requeue)
 
     def _dispatch_library_queue(self, library_name: str) -> None:
         """Drain one library's pending deque into free slots.
@@ -890,7 +879,7 @@ class Manager:
         invocation, then one eviction attempt — and go dormant until the
         next capacity event re-marks this library dirty.
         """
-        queue = self._pending_invocations.get(library_name)
+        queue = self.state.pending_invocations.get(library_name)
         library = self._libraries.get(library_name)
         if not queue or library is None:
             return
@@ -1097,6 +1086,15 @@ class Manager:
                 args, kwargs, self._declared_args.__getitem__
             )
         else:
+            # Unbacked handles (below-threshold declares, shm=None) have
+            # no segment for the worker to attach; inline them even on a
+            # shm link.  Backed handles ship as placeholders.
+            args, kwargs = payloads.substitute_args(
+                args,
+                kwargs,
+                self._declared_args.__getitem__,
+                when=lambda a: a.shm is None,
+            )
             for value in (*args, *kwargs.values()):
                 if isinstance(value, payloads.PayloadArg):
                     self._count_payload(task, value.size, copied=False)
@@ -1188,8 +1186,8 @@ class Manager:
         task.state = TaskState.DISPATCHED
         task.worker = worker
         task.mark("dispatched", time.monotonic())
-        self._running[task.id] = task
-        self._task_worker_key[task.id] = worker
+        self.state.running[task.id] = task
+        self.state.task_worker_key[task.id] = worker
         self.stats["tasks_dispatched"] += 1
         # Task mode reloads its context on every execution: always cold.
         self._note_warm_cold("<tasks>", warm=False)
@@ -1245,8 +1243,8 @@ class Manager:
         task.state = TaskState.DISPATCHED
         task.worker = inst.worker
         task.mark("dispatched", time.monotonic())
-        self._running[task.id] = task
-        self._invocation_instance[task.id] = inst.instance_id
+        self.state.running[task.id] = task
+        self.state.invocation_instance[task.id] = inst.instance_id
         self.stats["invocations_dispatched"] += 1
         self.perflog.transition(
             "task_dispatch",
@@ -1415,11 +1413,11 @@ class Manager:
         # by their own task_failed frames (sent before this one), so any
         # invocation still bound here was dispatched into the window
         # between the kill and this frame — requeue it, don't fail it.
-        for task_id, iid in list(self._invocation_instance.items()):
+        for task_id, iid in list(self.state.invocation_instance.items()):
             if iid != instance_id:
                 continue
-            task = self._running.pop(task_id, None)
-            self._invocation_instance.pop(task_id, None)
+            task = self.state.running.pop(task_id, None)
+            self.state.invocation_instance.pop(task_id, None)
             if task is not None:
                 if timeout_kill:
                     self._requeue_task(task, blame=None)
@@ -1438,7 +1436,7 @@ class Manager:
         # per-task deque removals.  A timeout kill is not a broken
         # library — one invocation overran and its instance was shot —
         # so queued invocations stay queued and redeploy normally.
-        queue = None if timeout_kill else self._pending_invocations.get(
+        queue = None if timeout_kill else self.state.pending_invocations.get(
             record.library.name
         )
         if queue:
@@ -1472,26 +1470,26 @@ class Manager:
     def _finish_bookkeeping(self, task: Task) -> None:
         self._unpin_task_payload(task)
         if isinstance(task, FunctionCall):
-            instance_id = self._invocation_instance.pop(task.id, None)
+            instance_id = self.state.invocation_instance.pop(task.id, None)
             if instance_id is not None:
                 record = self._instances.get(instance_id)
                 if record is not None:
                     self.placement.finish_invocation(record.instance)
                     # The freed slot only helps this library...
-                    self._dirty_libraries.add(task.library_name)
+                    self.state.dirty_libraries.add(task.library_name)
                     # ...but a now-idle instance is an eviction candidate
                     # for every other blocked queue.
                     if record.instance.used_slots == 0:
                         self._wake_all()
         elif isinstance(task, PythonTask):
-            worker = self._task_worker_key.pop(task.id, None)
+            worker = self.state.task_worker_key.pop(task.id, None)
             if worker is not None and worker in self.placement.workers:
                 self.placement.finish_task(worker, task.resources)
             self._wake_all()  # released worker resources may fit anything
 
     def _on_result(self, message: dict, payload: bytes) -> None:
         task_id = int(message["task_id"])
-        task = self._running.pop(task_id, None)
+        task = self.state.running.pop(task_id, None)
         if task is None:
             descriptor = message.get("payload_shm")
             if descriptor is not None:
@@ -1589,7 +1587,7 @@ class Manager:
 
     def _on_task_failed(self, message: dict) -> None:
         task_id = int(message["task_id"])
-        task = self._running.pop(task_id, None)
+        task = self.state.running.pop(task_id, None)
         if task is None:
             return
         self._finish_bookkeeping(task)
@@ -1642,13 +1640,13 @@ class Manager:
         }
         for iid in lost_instances:
             del self._instances[iid]
-        for task_id, iid in list(self._invocation_instance.items()):
+        for task_id, iid in list(self.state.invocation_instance.items()):
             if iid in lost_instances:
-                self._invocation_instance.pop(task_id, None)
+                self.state.invocation_instance.pop(task_id, None)
                 self._requeue(task_id, blame=link.name)
-        for task_id, worker in list(self._task_worker_key.items()):
+        for task_id, worker in list(self.state.task_worker_key.items()):
             if worker == link.name:
-                self._task_worker_key.pop(task_id, None)
+                self.state.task_worker_key.pop(task_id, None)
                 self._requeue(task_id, blame=link.name)
         if link.name in self.placement.workers:
             self.placement.remove_worker(link.name)
@@ -1660,7 +1658,7 @@ class Manager:
         payloads.reap_orphans()
 
     def _requeue(self, task_id: int, blame: Optional[str] = None) -> None:
-        task = self._running.pop(task_id, None)
+        task = self.state.running.pop(task_id, None)
         if task is None:
             return
         self._requeue_task(task, blame=blame)
@@ -1702,14 +1700,7 @@ class Manager:
             task.not_before = time.monotonic() + backoff
             self._note_backoff(task.not_before)
         task.state = TaskState.SUBMITTED
-        if isinstance(task, FunctionCall):
-            self._pending_invocations.setdefault(
-                task.library_name, collections.deque()
-            ).appendleft(task)
-            self._dirty_libraries.add(task.library_name)
-        else:
-            self._ready_tasks.appendleft(task)
-            self._tasks_dirty = True
+        self.state.enqueue(task, front=True)
         self.stats["requeued"] += 1
         self.perflog.transition(
             "task_retry", task=task.id, retries=task.retries, blame=blame

@@ -567,25 +567,34 @@ class ResolvedArgCache:
         return value
 
 
-def substitute_args(args, kwargs, lookup: Callable[[str], Any]):
+def substitute_args(
+    args,
+    kwargs,
+    lookup: Callable[[str], Any],
+    when: Optional[Callable[["PayloadArg"], bool]] = None,
+):
     """Replace top-level :class:`PayloadArg` placeholders with real values.
 
     The manager uses this on links without shared memory: the argument
     is embedded inline (the pre-payload-plane wire shape), trading the
-    zero-copy win for portability.  Only top-level positional/keyword
-    arguments are scanned — a PayloadArg nested inside a container needs
-    a shm-capable link.
+    zero-copy win for portability.  ``when`` narrows the substitution —
+    on shm-capable links the manager passes ``lambda a: a.shm is None``
+    so only *unbacked* placeholders (below-threshold declared arguments
+    that were never given a segment) are inlined while backed ones still
+    ride the store.  Only top-level positional/keyword arguments are
+    scanned — a PayloadArg nested inside a container needs a shm-capable
+    link.
     """
-    if not any(isinstance(a, PayloadArg) for a in args) and not any(
-        isinstance(v, PayloadArg) for v in kwargs.values()
+    def hits(value) -> bool:
+        return isinstance(value, PayloadArg) and (when is None or when(value))
+
+    if not any(hits(a) for a in args) and not any(
+        hits(v) for v in kwargs.values()
     ):
         return args, kwargs
-    new_args = tuple(
-        lookup(a.digest) if isinstance(a, PayloadArg) else a for a in args
-    )
+    new_args = tuple(lookup(a.digest) if hits(a) else a for a in args)
     new_kwargs = {
-        k: lookup(v.digest) if isinstance(v, PayloadArg) else v
-        for k, v in kwargs.items()
+        k: lookup(v.digest) if hits(v) else v for k, v in kwargs.items()
     }
     return new_args, new_kwargs
 

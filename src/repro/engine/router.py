@@ -1,0 +1,779 @@
+"""Multi-manager sharding behind a consistent-hash router.
+
+One manager process is a hard scalability ceiling: every submission,
+dispatch decision, and completion funnels through a single event loop,
+so the paper's context-reuse wins stop at one core.  The router lifts
+that ceiling the way funcX federates endpoints — N autonomous manager
+processes ("shards"), each owning its own :class:`ShardState`, worker
+fleet, and payload store, behind one submission interface with the
+:class:`~repro.engine.manager.Manager` API (``submit`` / ``wait`` /
+``wait_all`` / ``cancel`` / ``declare_argument``).
+
+Placement across shards is a consistent-hash decision over the same
+:class:`~repro.engine.scheduling.HashRing` the manager uses across
+workers: a library hashes to one *home* shard and every invocation of
+it routes there, so its warm instances stay sticky to one shard (the
+StickyInvoc argument — context affinity drives placement) while
+independent libraries and plain tasks fan out across shards.
+
+Fault model, reusing the blame-set retry semantics of the single
+manager:
+
+* A shard that dies takes its workers with it.  The router keeps the
+  authoritative :class:`~repro.engine.task.Task` objects, so every
+  in-flight task on the dead shard is retried on a surviving shard
+  with ``retries += 1`` and ``"shard:<name>"`` appended to its blame
+  set (never re-routed to a blamed shard), raising
+  :class:`~repro.errors.TaskRetryExhausted` past the budget.
+* Libraries homed on the dead shard are re-homed by walking the ring.
+  Library code blobs are *pre-staged* on every shard at install time
+  via :func:`repro.distribute.plan.plan_broadcast`'s spanning tree —
+  the home shard seeds its peers shard-to-shard (each staged shard
+  serves further peers from its blob server, ``peer_cap`` bounding
+  fan-out) — so a re-home normally installs from the local stage and
+  only falls back to a direct router send when the blob never arrived.
+
+Declared arguments broadcast to every shard once (the value crosses
+the wire one time per shard, not per task); each shard re-declares the
+blob into its own payload store and rewrites incoming placeholders to
+shard-local handles by digest.
+"""
+
+from __future__ import annotations
+
+import collections
+import os
+import selectors
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+from typing import Any, Callable, Deque, Dict, Iterable, List, Optional, Set
+
+from repro.discover.context import DataBinding, discover_context
+from repro.distribute.plan import plan_broadcast
+from repro.distribute.topology import Topology, TransferMode
+from repro.engine import messages, payloads
+from repro.engine.resources import Resources
+from repro.engine.scheduling import HashRing
+from repro.engine.task import (
+    ExecMode,
+    FunctionCall,
+    LibraryTask,
+    PythonTask,
+    Task,
+    TaskState,
+)
+from repro.errors import (
+    EngineError,
+    LibraryError,
+    TaskFailure,
+    TaskRetryExhausted,
+)
+from repro.obs.metrics import MetricsRegistry, StatsShim, shard_stats
+from repro.util.logging import get_logger
+from repro.serialize.core import serialize
+from repro.serialize.source import capture_function
+from repro.util.hashing import hash_bytes
+
+
+class _ShardLink:
+    """Router-side record of one connected shard process."""
+
+    __slots__ = ("name", "conn", "proc", "pid", "blob_port", "status", "inflight")
+
+    def __init__(self, name: str, conn: messages.Connection, proc=None):
+        self.name = name
+        self.conn = conn
+        self.proc = proc
+        self.pid: Optional[int] = None
+        self.blob_port: Optional[int] = None
+        self.status: Dict[str, Any] = {}
+        self.inflight: Set[int] = set()  # router-side task ids
+
+    @property
+    def blob_addr(self) -> Optional[str]:
+        if self.blob_port is None:
+            return None
+        return f"127.0.0.1:{self.blob_port}"
+
+
+class _LibraryRecord:
+    """Authoritative record of an installed library and where its blob is."""
+
+    __slots__ = ("library", "blob", "digest", "home", "installed", "staged")
+
+    def __init__(self, library: LibraryTask, blob: bytes, digest: str):
+        self.library = library
+        self.blob = blob
+        self.digest = digest
+        self.home: Optional[str] = None
+        self.installed: Set[str] = set()  # shards running it
+        self.staged: Set[str] = set()     # shards holding the blob on disk
+
+
+class Router:
+    """A stateless front-end sharding contexts across N manager processes.
+
+    ::
+
+        with Router(shards=2, workers_per_shard=2) as router:
+            lib = router.create_library_from_functions("m", f)
+            router.install_library(lib)
+            calls = [FunctionCall("m", "f", i) for i in range(100)]
+            for c in calls:
+                router.submit(c)
+            router.wait_all(calls)
+
+    The router holds no scheduling state of its own — queues, placement,
+    and payload pins all live shard-side — only the authoritative Task
+    objects, the library records, and the ring.
+    """
+
+    def __init__(
+        self,
+        shards: int = 2,
+        *,
+        workers_per_shard: int = 1,
+        worker_cores: int = 4,
+        worker_memory: int = 4096,
+        worker_disk: int = 4096,
+        workdir: Optional[str] = None,
+        max_retries: int = 3,
+        peer_cap: int = 3,
+        connect_timeout: float = 60.0,
+        spawn: bool = True,
+        library_eviction: bool = True,
+    ):
+        if shards < 1:
+            raise EngineError("router needs at least one shard")
+        if max_retries < 0:
+            raise EngineError("max_retries must be >= 0")
+        self.max_retries = max_retries
+        self.peer_cap = peer_cap
+        self.library_eviction = library_eviction
+        self._owns_workdir = workdir is None
+        self.workdir = workdir or tempfile.mkdtemp(prefix="repro-router-")
+        os.makedirs(self.workdir, exist_ok=True)
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind(("127.0.0.1", 0))
+        self._listener.listen(16)
+        self._listener.setblocking(False)
+        self._selector = selectors.DefaultSelector()
+        self._selector.register(self._listener, selectors.EVENT_READ, ("accept", None))
+        self.ring = HashRing(replicas=64)
+        self._shards: Dict[str, _ShardLink] = {}
+        self._libraries: Dict[str, _LibraryRecord] = {}
+        self._declared: Dict[str, bytes] = {}  # digest -> blob (for late shards)
+        self._inflight: Dict[int, Task] = {}
+        self._task_shard: Dict[int, str] = {}
+        self._completed: Deque[Task] = collections.deque()
+        self._acks: Dict[tuple, Any] = {}  # (kind, key) -> value
+        self._closed = False
+        # Per-shard instruments are namespaced counters on one registry
+        # ("shard.<name>.completed", ...); `router.shard_stats(name)`
+        # returns the per-shard view, `router.stats` the router's own.
+        self.metrics = MetricsRegistry()
+        self.stats = StatsShim(self.metrics)
+        self.log = get_logger("router")
+        if spawn:
+            try:
+                self._spawn_shards(
+                    shards,
+                    workers_per_shard,
+                    worker_cores,
+                    worker_memory,
+                    worker_disk,
+                    connect_timeout,
+                )
+            except Exception:
+                self.close()
+                raise
+
+    # ---------------------------------------------------------------- setup
+    @property
+    def port(self) -> int:
+        return self._listener.getsockname()[1]
+
+    @property
+    def address(self) -> str:
+        host, port = self._listener.getsockname()
+        return f"{host}:{port}"
+
+    def shard_names(self) -> List[str]:
+        return sorted(self._shards)
+
+    def shard_stats(self, name: str) -> StatsShim:
+        """The ``shard.<name>.*`` counter namespace as a mapping."""
+        return shard_stats(self.metrics, name)
+
+    def _spawn_shards(
+        self,
+        count: int,
+        workers: int,
+        cores: int,
+        memory: int,
+        disk: int,
+        connect_timeout: float,
+    ) -> None:
+        procs = []
+        for i in range(count):
+            name = f"shard-{i}"
+            wdir = os.path.join(self.workdir, name)
+            cmd = [
+                sys.executable,
+                "-m",
+                "repro.engine.shard_main",
+                "--router",
+                self.address,
+                "--name",
+                name,
+                "--workers",
+                str(workers),
+                "--cores",
+                str(cores),
+                "--memory",
+                str(memory),
+                "--disk",
+                str(disk),
+                "--workdir",
+                wdir,
+            ]
+            if not self.library_eviction:
+                cmd.append("--no-library-eviction")
+            procs.append(
+                (name, subprocess.Popen(cmd, stdout=subprocess.DEVNULL, stderr=subprocess.PIPE))
+            )
+        pending = {name: proc for name, proc in procs}
+        deadline = time.monotonic() + connect_timeout
+        while pending:
+            if time.monotonic() > deadline:
+                details = self._collect_stderr(pending.values())
+                for proc in pending.values():
+                    proc.terminate()
+                raise EngineError(
+                    f"shards failed to register: {sorted(pending)}\n{details}"
+                )
+            self._advance(0.1)
+            for name in list(pending):
+                if name in self._shards:
+                    self._shards[name].proc = pending.pop(name)
+                elif pending[name].poll() is not None:
+                    details = self._collect_stderr([pending[name]])
+                    raise EngineError(f"shard {name} exited at startup:\n{details}")
+
+    @staticmethod
+    def _collect_stderr(procs) -> str:
+        chunks = []
+        for proc in procs:
+            if proc.poll() is not None and proc.stderr is not None:
+                text = proc.stderr.read().decode("utf-8", "replace")
+                if text:
+                    chunks.append(text[-2000:])
+        return "\n---\n".join(chunks) or "(no shard stderr)"
+
+    # ------------------------------------------------------------- libraries
+    def create_library_from_functions(
+        self,
+        name: str,
+        *functions: Callable[..., Any],
+        context: Callable[..., Any] | None = None,
+        context_args: Iterable[Any] = (),
+        function_slots: int = 1,
+        resources: Resources | None = None,
+        exec_mode: ExecMode = ExecMode.DIRECT,
+        extra_imports: Iterable[str] = (),
+        data: Iterable[DataBinding] = (),
+    ) -> LibraryTask:
+        """Discover a context and wrap it, mirroring the manager API."""
+        ctx = discover_context(
+            name,
+            list(functions),
+            setup=context,
+            setup_args=context_args,
+            extra_imports=extra_imports,
+            scan_dependencies=False,
+            data=data,
+        )
+        return LibraryTask(
+            ctx,
+            function_slots=function_slots,
+            resources=resources,
+            exec_mode=exec_mode,
+        )
+
+    def install_library(self, library: LibraryTask) -> None:
+        """Install on the library's home shard and pre-stage the blob
+        everywhere else via the spanning-tree transfer plan."""
+        self._check_open()
+        if library.name in self._libraries:
+            raise LibraryError(f"library {library.name!r} already installed")
+        blob = serialize(library)
+        record = _LibraryRecord(library, blob, hash_bytes(blob))
+        self._libraries[library.name] = record
+        self._ensure_home(record)
+        self._stage_everywhere(record)
+
+    def _ensure_home(self, record: _LibraryRecord) -> None:
+        """(Re)assign the home shard by ring walk and install there."""
+        if not self._shards:
+            raise EngineError("no live shards")
+        for name in self.ring.walk(record.library.name):
+            if name in self._shards:
+                record.home = name
+                break
+        else:  # pragma: no cover - ring and _shards stay in sync
+            raise EngineError("no live shards on the ring")
+        link = self._shards[record.home]
+        frame = {
+            "type": "install_library",
+            "name": record.library.name,
+            "digest": record.digest,
+        }
+        if record.home in record.staged:
+            # The blob is already on the shard's disk from pre-staging;
+            # install locally without re-shipping it.
+            self._send(link, dict(frame, from_stage=True))
+        else:
+            self._send(link, frame, record.blob)
+        self._await_ack(("library", record.home, record.digest))
+        record.installed.add(record.home)
+        record.staged.add(record.home)
+
+    def _stage_everywhere(self, record: _LibraryRecord) -> None:
+        """Spanning-tree pre-stage of the library blob to non-home shards.
+
+        The plan's topology treats shards as the "workers": the home
+        shard (already holding the blob) is the root, and each transfer
+        whose source is another shard resolves to that shard's blob
+        server — a true manager-to-manager peer copy that never crosses
+        the router again.
+        """
+        others = [n for n in self.shard_names() if n != record.home]
+        if not others:
+            return
+        topo = Topology()
+        for n in others:
+            topo.add_worker(n)
+        plan = plan_broadcast(
+            topo,
+            record.library.name,
+            len(record.blob),
+            TransferMode.PEER,
+            peer_cap=self.peer_cap,
+        )
+        for transfer in plan.transfers:
+            link = self._shards.get(transfer.dest)
+            if link is None:
+                continue  # lost mid-staging; re-homing handles it
+            frame = {
+                "type": "stage_library",
+                "name": record.library.name,
+                "digest": record.digest,
+            }
+            if transfer.source == "manager":
+                # "manager" in the plan is the blob holder: the home
+                # shard.  Prefer a peer fetch from it; fall back to a
+                # direct router send when it has no blob server.
+                source = self._shards.get(record.home) if record.home else None
+            else:
+                source = self._shards.get(transfer.source)
+            if source is not None and source.blob_addr is not None:
+                self._send(link, dict(frame, source=source.blob_addr))
+            else:
+                self._send(link, frame, record.blob)
+            self._await_ack(("staged", transfer.dest, record.digest))
+            record.staged.add(transfer.dest)
+
+    # ------------------------------------------------------------- arguments
+    def declare_argument(self, value: Any) -> payloads.PayloadArg:
+        """Serialize once, broadcast to every shard's payload store.
+
+        The returned handle is router-scoped (``shm=None`` — segments
+        are per-shard); shards rewrite it by digest to their local
+        handle on submission.
+        """
+        self._check_open()
+        blob = serialize(value)
+        digest = hash_bytes(blob)
+        arg = payloads.PayloadArg(digest, len(blob), None)
+        if digest not in self._declared:
+            self._declared[digest] = blob
+            for name in self.shard_names():
+                self._send(
+                    self._shards[name],
+                    {"type": "declare", "digest": digest, "size": len(blob)},
+                    blob,
+                )
+        return arg
+
+    def release_argument(self, arg: payloads.PayloadArg) -> None:
+        """Drop a declared argument on every shard."""
+        if self._declared.pop(arg.digest, None) is None:
+            return
+        for name in self.shard_names():
+            self._send(self._shards[name], {"type": "release", "digest": arg.digest})
+
+    # ------------------------------------------------------------ submission
+    def submit(self, task: Task) -> int:
+        """Route a task to its shard; returns its (router-global) id."""
+        self._check_open()
+        if task.state is not TaskState.CREATED:
+            raise EngineError(f"task {task.id} was already submitted")
+        if isinstance(task, LibraryTask):
+            raise EngineError("libraries are installed, not submitted")
+        if isinstance(task, FunctionCall):
+            record = self._libraries.get(task.library_name)
+            if record is None:
+                raise LibraryError(f"no installed library named {task.library_name!r}")
+            if not record.library.provides(task.function_name):
+                raise LibraryError(
+                    f"library {task.library_name!r} has no function "
+                    f"{task.function_name!r}"
+                )
+        task.state = TaskState.SUBMITTED
+        task.mark("submitted", time.monotonic())
+        self._dispatch(task)
+        self.stats["submitted"] += 1
+        return task.id
+
+    def _dispatch(self, task: Task) -> None:
+        shard = self._route(task)
+        link = self._shards[shard]
+        self._send(link, {"type": "submit", "router_id": task.id}, self._task_blob(task))
+        self._inflight[task.id] = task
+        self._task_shard[task.id] = shard
+        link.inflight.add(task.id)
+        # "routed" is router-owned; the rest of the shard.<name>.*
+        # namespace is overwritten by shard_status frames, so the two
+        # sources never fight over a key.
+        shard_stats(self.metrics, shard)["routed"] += 1
+
+    def _route(self, task: Task) -> str:
+        """Consistent-hash shard choice honoring stickiness and blame."""
+        if not self._shards:
+            raise EngineError("no live shards")
+        if isinstance(task, FunctionCall):
+            # Stickiness: every invocation of a library goes to its home
+            # shard, where the warm instances are.
+            record = self._libraries[task.library_name]
+            if record.home not in self._shards:
+                self._ensure_home(record)
+            assert record.home is not None
+            return record.home
+        blamed = {
+            b[len("shard:"):]
+            for b in task.workers_lost_on
+            if b.startswith("shard:")
+        }
+        fallback = None
+        for name in self.ring.walk(f"task-{task.id}"):
+            if name not in self._shards:
+                continue
+            if fallback is None:
+                fallback = name
+            if name not in blamed:
+                return name
+        if fallback is None:
+            raise EngineError("no live shards on the ring")
+        return fallback  # every shard blamed: better to retry than wedge
+
+    @staticmethod
+    def _task_blob(task: Task) -> bytes:
+        """Serialize a task for the wire.
+
+        A PythonTask's raw callable is swapped for its source-captured
+        :class:`~repro.serialize.source.FunctionCode` so the shard can
+        rebuild it without importing the submitter's module.
+        """
+        if isinstance(task, PythonTask):
+            fn = task.fn
+            try:
+                task.fn = capture_function(fn)
+                return serialize(task)
+            finally:
+                task.fn = fn
+        return serialize(task)
+
+    # ------------------------------------------------------------ completion
+    def empty(self) -> bool:
+        return not self._inflight and not self._completed
+
+    def wait(self, timeout: float = 5.0) -> Optional[Task]:
+        """Drive the router until a task completes or ``timeout`` passes."""
+        deadline = time.monotonic() + timeout
+        while True:
+            if self._completed:
+                return self._completed.popleft()
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                return None
+            self._advance(min(remaining, 0.05))
+
+    def wait_all(self, tasks: Iterable[Task], timeout: float = 60.0) -> List[Task]:
+        """Wait until every task reaches a terminal state."""
+        wanted = list(tasks)
+        deadline = time.monotonic() + timeout
+        while True:
+            if all(
+                t.state in (TaskState.DONE, TaskState.FAILED) for t in wanted
+            ):
+                # Consume their completion records so wait() doesn't
+                # hand back tasks the caller already holds.
+                ids = {t.id for t in wanted}
+                self._completed = collections.deque(
+                    t for t in self._completed if t.id not in ids
+                )
+                return wanted
+            if time.monotonic() > deadline:
+                raise EngineError("wait_all timed out")
+            self._advance(0.05)
+
+    def cancel(self, task: Task, timeout: float = 10.0) -> bool:
+        """Best-effort cancellation, same contract as ``Manager.cancel``:
+        withdrawn-from-queue tasks return True; a dispatched invocation
+        (already on a library's input queue or executing) returns False."""
+        if task.id not in self._inflight:
+            return False
+        shard = self._task_shard.get(task.id)
+        link = self._shards.get(shard) if shard else None
+        if link is None:
+            return False
+        self._send(link, {"type": "cancel", "router_id": task.id})
+        ok = bool(self._await_ack(("cancel", task.id), timeout=timeout))
+        if ok:
+            # The shard finalized it as cancelled; the terminal state
+            # arrives on the task_done frame driven by _await_ack.
+            self.stats["cancelled"] += 1
+        return ok
+
+    # ------------------------------------------------------------ event loop
+    def _advance(self, timeout: float) -> None:
+        events = self._selector.select(timeout=timeout)
+        for key, _ in events:
+            kind, link = key.data
+            if kind == "accept":
+                self._accept_shard()
+            else:
+                self._drain_shard(link)
+        # Reap shards whose process died without a clean socket close.
+        for link in list(self._shards.values()):
+            if link.proc is not None and link.proc.poll() is not None:
+                self._shard_lost(link, f"process exited {link.proc.returncode}")
+
+    def _accept_shard(self) -> None:
+        try:
+            sock, _ = self._listener.accept()
+        except BlockingIOError:
+            return
+        sock.setblocking(True)
+        conn = messages.Connection(sock, name="shard?")
+        try:
+            hello, _ = conn.receive(timeout=10.0)
+            messages.expect(hello, "register_shard")
+            name = str(hello["shard"])
+            if name in self._shards:
+                conn.send({"type": "error", "error": f"duplicate shard {name!r}"})
+                conn.close()
+                return
+            link = _ShardLink(name, conn)
+            link.pid = hello.get("pid")
+            link.blob_port = hello.get("blob_port")
+            conn.send({"type": "welcome", "router": self.address})
+        except Exception as exc:
+            self.log.warning("shard handshake failed: %s", exc)
+            conn.close()
+            return
+        self._shards[name] = link
+        self.ring.add(name)
+        self._selector.register(conn.sock, selectors.EVENT_READ, ("shard", link))
+        self.log.info("shard %s joined (pid %s)", name, link.pid)
+        # Late joiner: give it the declared arguments so routing there
+        # is always legal.
+        for digest, blob in self._declared.items():
+            self._send(link, {"type": "declare", "digest": digest, "size": len(blob)}, blob)
+
+    def _drain_shard(self, link: _ShardLink) -> None:
+        import select as _select
+
+        while True:
+            try:
+                r, _, _ = _select.select([link.conn.sock], [], [], 0)
+                buffered = len(link.conn._recv_buffer) > link.conn._recv_pos
+                if not r and not buffered:
+                    return
+                message, payload = link.conn.receive(timeout=1.0)
+            except TimeoutError:
+                return
+            except Exception as exc:
+                self._shard_lost(link, str(exc))
+                return
+            try:
+                self._handle_frame(link, message, payload)
+            except Exception:
+                self.log.exception("error handling %s from %s", message.get("type"), link.name)
+
+    def _handle_frame(self, link: _ShardLink, message: dict, payload: bytes) -> None:
+        mtype = message.get("type")
+        if mtype == "task_done":
+            self._on_task_done(link, message, payload)
+        elif mtype == "library_ready":
+            self._acks[("library", link.name, str(message["digest"]))] = True
+        elif mtype == "staged":
+            self._acks[("staged", link.name, str(message["digest"]))] = True
+        elif mtype == "cancel_result":
+            self._acks[("cancel", int(message["router_id"]))] = bool(message["ok"])
+        elif mtype == "shard_status":
+            link.status = dict(message.get("stats", {}))
+            stats = shard_stats(self.metrics, link.name)
+            for key, value in link.status.items():
+                try:
+                    stats[key] = float(value)
+                except (TypeError, ValueError):
+                    pass
+        elif mtype == "error":
+            self.log.warning("shard %s error: %s", link.name, message.get("error"))
+        else:
+            self.log.warning("unknown frame %r from shard %s", mtype, link.name)
+
+    def _on_task_done(self, link: _ShardLink, message: dict, payload: bytes) -> None:
+        from repro.serialize.core import deserialize
+
+        router_id = int(message["router_id"])
+        link.inflight.discard(router_id)
+        task = self._inflight.pop(router_id, None)
+        self._task_shard.pop(router_id, None)
+        if task is None:
+            return
+        outcome = deserialize(payload)
+        if "error" in outcome:
+            task.set_exception(outcome["error"])
+            self.stats["failed"] += 1
+        else:
+            task.set_result(outcome.get("value"))
+            self.stats["completed"] += 1
+        for event, t in outcome.get("timeline", {}).items():
+            task.timeline.setdefault(event, t)
+        task.mark("completed", time.monotonic())
+        self._completed.append(task)
+
+    def _await_ack(self, key: tuple, timeout: float = 30.0) -> Any:
+        deadline = time.monotonic() + timeout
+        while key not in self._acks:
+            if time.monotonic() > deadline:
+                raise EngineError(f"shard did not acknowledge {key!r}")
+            self._advance(0.05)
+            if key[0] in ("library", "staged") and key[1] not in self._shards:
+                raise EngineError(f"shard {key[1]} lost before acknowledging {key!r}")
+        return self._acks.pop(key)
+
+    # ------------------------------------------------------------ shard loss
+    def _shard_lost(self, link: _ShardLink, reason: str) -> None:
+        if link.name not in self._shards:
+            return
+        self.log.warning("shard %s lost: %s", link.name, reason)
+        del self._shards[link.name]
+        if link.name in self.ring:
+            self.ring.remove(link.name)
+        try:
+            self._selector.unregister(link.conn.sock)
+        except (KeyError, ValueError):
+            pass
+        link.conn.close()
+        if link.proc is not None and link.proc.poll() is None:
+            link.proc.terminate()
+        self.stats["shards_lost"] += 1
+        # Re-home libraries whose warm state died with the shard.  The
+        # blob is normally already staged on the new home; _ensure_home
+        # falls back to a direct send when it is not.
+        for record in self._libraries.values():
+            record.installed.discard(link.name)
+            record.staged.discard(link.name)
+            if record.home == link.name:
+                record.home = None
+                if self._shards:
+                    self._ensure_home(record)
+                    self._stage_everywhere(record)
+        # Blame-set retry for every task that was on the dead shard.
+        for router_id in sorted(link.inflight):
+            task = self._inflight.pop(router_id, None)
+            self._task_shard.pop(router_id, None)
+            if task is None:
+                continue
+            task.retries += 1
+            task.workers_lost_on.append(f"shard:{link.name}")
+            if task.retries > self.max_retries or not self._shards:
+                task.set_exception(
+                    TaskRetryExhausted(
+                        f"task {task.id} lost its shard {task.retries} times "
+                        f"(retry budget {self.max_retries}); "
+                        f"lost on: {task.workers_lost_on}",
+                        losses=task.workers_lost_on,
+                        retries=task.retries,
+                    )
+                )
+                task.mark("completed", time.monotonic())
+                self._completed.append(task)
+                self.stats["retry_exhausted"] += 1
+                self.stats["failed"] += 1
+                continue
+            task.state = TaskState.SUBMITTED
+            self._dispatch(task)
+            self.stats["requeued"] += 1
+
+    # -------------------------------------------------------------- plumbing
+    def _send(self, link: _ShardLink, message: dict, payload: bytes = b"") -> None:
+        try:
+            link.conn.send(message, payload)
+        except Exception as exc:
+            self._shard_lost(link, f"send failed: {exc}")
+            raise EngineError(f"shard {link.name} lost while sending") from exc
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise EngineError("router is closed")
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for link in list(self._shards.values()):
+            try:
+                link.conn.send({"type": "shutdown"})
+            except Exception:
+                pass
+        deadline = time.monotonic() + 10.0
+        for link in list(self._shards.values()):
+            if link.proc is None:
+                continue
+            remaining = max(0.1, deadline - time.monotonic())
+            try:
+                link.proc.wait(timeout=remaining)
+            except subprocess.TimeoutExpired:
+                link.proc.terminate()
+                try:
+                    link.proc.wait(timeout=5.0)
+                except subprocess.TimeoutExpired:
+                    link.proc.kill()
+                    link.proc.wait(timeout=5.0)
+        for link in list(self._shards.values()):
+            try:
+                self._selector.unregister(link.conn.sock)
+            except (KeyError, ValueError):
+                pass
+            link.conn.close()
+        self._shards.clear()
+        self._selector.close()
+        self._listener.close()
+        if self._owns_workdir:
+            import shutil
+
+            shutil.rmtree(self.workdir, ignore_errors=True)
+
+    def __enter__(self) -> "Router":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()

@@ -16,18 +16,29 @@ one free slot) that is updated incrementally on every state transition
 (ready, start, finish, removal, worker loss) instead of re-scanning all
 workers per invocation.  ``free_index_snapshot`` exposes the index so
 tests can assert it always agrees with a brute-force scan.
+
+:class:`ShardState` bundles everything a *shard* of the engine owns —
+the placement table plus every queue and in-flight index the manager
+mutates while scheduling.  The manager holds exactly one; the shard
+router (:mod:`repro.engine.router`) runs N manager processes, each with
+its own independent ``ShardState``, and routes work between them by
+consistent-hashing context names over the same :class:`HashRing`.
 """
 
 from __future__ import annotations
 
+import collections
 from bisect import bisect_right, insort
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Deque, Dict, Iterable, Iterator, List, Optional, Set, Tuple
 
 from repro.engine.resources import ResourcePool, Resources
 from repro.errors import SchedulingError
 from repro.obs.trace import NULL_TRACER
 from repro.util.hashing import content_hash
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (task -> files)
+    from repro.engine.task import FunctionCall, PythonTask, Task
 
 
 class HashRing:
@@ -37,9 +48,19 @@ class HashRing:
     position of ``key`` — the scan order the manager uses so different
     libraries start their placement search at different workers and
     spread load.
+
+    ``replicas`` places that many virtual points per member.  One point
+    (the default, and what the manager uses across its workers) keeps
+    positions stable with historical behavior; small rings — the router
+    hashing libraries over a handful of *shards* — need tens of virtual
+    points per shard or the partition is badly skewed (with 4 members
+    and 1 point each, one member routinely owns most of the keyspace).
     """
 
-    def __init__(self) -> None:
+    def __init__(self, replicas: int = 1) -> None:
+        if replicas < 1:
+            raise SchedulingError("replicas must be >= 1")
+        self.replicas = replicas
         self._points: List[Tuple[int, str]] = []
         self._names: set[str] = set()
 
@@ -47,10 +68,18 @@ class HashRing:
     def _position(name: str) -> int:
         return int(content_hash("ring", name)[:16], 16)
 
+    def _positions(self, name: str) -> List[int]:
+        # Replica 0 hashes the bare name, so replicas=1 reproduces the
+        # original single-point ring exactly.
+        return [self._position(name)] + [
+            self._position(f"{name}#{i}") for i in range(1, self.replicas)
+        ]
+
     def add(self, name: str) -> None:
         if name in self._names:
             raise SchedulingError(f"worker {name!r} already on ring")
-        insort(self._points, (self._position(name), name))
+        for position in self._positions(name):
+            insort(self._points, (position, name))
         self._names.add(name)
 
     def remove(self, name: str) -> None:
@@ -60,18 +89,23 @@ class HashRing:
         self._names.discard(name)
 
     def __len__(self) -> int:
-        return len(self._points)
+        return len(self._names)
 
     def __contains__(self, name: str) -> bool:
         return name in self._names
 
     def walk(self, key: str) -> Iterator[str]:
+        """Yield every member once, in ring order from ``key``'s position."""
         if not self._points:
             return
         start = bisect_right(self._points, (self._position(key), chr(0x10FFFF)))
         n = len(self._points)
+        seen: set[str] = set()
         for i in range(n):
-            yield self._points[(start + i) % n][1]
+            name = self._points[(start + i) % n][1]
+            if name not in seen:
+                seen.add(name)
+                yield name
 
 
 @dataclass
@@ -344,3 +378,125 @@ class Placement:
         if not served:
             return 0.0
         return sum(served) / len(served)
+
+
+class ShardState:
+    """One shard's complete scheduling state: placement + queues + in-flight.
+
+    This is the explicit interface between the manager's event loop and
+    the state it schedules over.  Everything here is per-shard: a
+    multi-manager deployment (:mod:`repro.engine.router`) gives every
+    manager process its own ``ShardState`` and no state is shared across
+    shards — a context's queue, placement entries, and in-flight indexes
+    all live on the shard that context hashes to, which is what makes a
+    shard independently restartable and its warm instances sticky.
+
+    Fields:
+
+    * ``placement`` — the cluster-wide :class:`Placement` table.
+    * ``ready_tasks`` — queued :class:`PythonTask`\\ s awaiting dispatch.
+    * ``pending_invocations`` — per-library deques of queued
+      :class:`FunctionCall`\\ s (the indexed dispatch hot path).
+    * ``dirty_libraries`` / ``tasks_dirty`` — the capacity-event wakeup
+      sets: a queue is only visited when marked dirty.
+    * ``running`` — task id → task, for everything dispatched.
+    * ``invocation_instance`` — invocation task id → library instance id.
+    * ``task_worker_key`` — plain-task id → worker name.
+    * ``backoff_wakeup`` — earliest ``not_before`` among backed-off
+      tasks (0.0 = none waiting).
+    """
+
+    def __init__(self, tracer=None) -> None:
+        self.placement = Placement(tracer)
+        self.ready_tasks: "Deque[PythonTask]" = collections.deque()
+        self.pending_invocations: "Dict[str, Deque[FunctionCall]]" = {}
+        self.dirty_libraries: Set[str] = set()
+        self.tasks_dirty = False
+        self.running: "Dict[int, Task]" = {}
+        self.invocation_instance: Dict[int, int] = {}
+        self.task_worker_key: Dict[int, str] = {}
+        self.backoff_wakeup = 0.0
+
+    # -- queueing ---------------------------------------------------------
+    def enqueue(self, task: "Task", *, front: bool = False) -> None:
+        """Queue ``task`` for dispatch and mark its queue dirty.
+
+        ``front=True`` requeues at the head (the retry path, which must
+        not let a lost task starve behind fresh submissions).
+        """
+        from repro.engine.task import FunctionCall
+
+        if isinstance(task, FunctionCall):
+            queue = self.pending_invocations.setdefault(
+                task.library_name, collections.deque()
+            )
+            queue.appendleft(task) if front else queue.append(task)
+            self.dirty_libraries.add(task.library_name)
+        else:
+            if front:
+                self.ready_tasks.appendleft(task)
+            else:
+                self.ready_tasks.append(task)
+            self.tasks_dirty = True
+
+    def discard_queued(self, task: "Task") -> bool:
+        """Withdraw a queued task (cancellation).  O(queue length), but
+        keeps ``queue_depths``/``empty`` exact — the dispatch loops still
+        skip non-SUBMITTED tombstones as a backstop for races."""
+        from repro.engine.task import FunctionCall
+
+        queue: Optional[Deque] = (
+            self.pending_invocations.get(task.library_name)
+            if isinstance(task, FunctionCall)
+            else self.ready_tasks
+        )
+        if queue is None:
+            return False
+        try:
+            queue.remove(task)
+        except ValueError:
+            return False
+        return True
+
+    def wake_all(self) -> None:
+        """Mark every non-empty queue dirty after a capacity-change event."""
+        if self.ready_tasks:
+            self.tasks_dirty = True
+        for name, queue in self.pending_invocations.items():
+            if queue:
+                self.dirty_libraries.add(name)
+
+    # -- backoff ----------------------------------------------------------
+    def note_backoff(self, not_before: float) -> None:
+        """Remember the earliest pending backoff expiry."""
+        if not self.backoff_wakeup or not_before < self.backoff_wakeup:
+            self.backoff_wakeup = not_before
+
+    def take_backoff_wakeup(self, now: float) -> bool:
+        """True (and clears the gate) when a backed-off task is due."""
+        if self.backoff_wakeup and now >= self.backoff_wakeup:
+            self.backoff_wakeup = 0.0
+            return True
+        return False
+
+    # -- introspection ----------------------------------------------------
+    def queued_count(self) -> int:
+        return len(self.ready_tasks) + sum(
+            len(q) for q in self.pending_invocations.values()
+        )
+
+    def queue_depths(self) -> Dict[str, int]:
+        """Non-empty queue lengths, keyed by library (``<tasks>`` for the
+        plain-task queue) — the perflog's ``queue_depths`` sample."""
+        depths = {
+            name: len(q) for name, q in self.pending_invocations.items() if q
+        }
+        if self.ready_tasks:
+            depths["<tasks>"] = len(self.ready_tasks)
+        return depths
+
+    def empty(self) -> bool:
+        """No queued and no in-flight work on this shard."""
+        return not self.ready_tasks and not self.running and not any(
+            self.pending_invocations.values()
+        )

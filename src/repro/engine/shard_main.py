@@ -1,0 +1,416 @@
+"""Shard process entry: one manager + its worker fleet behind a router.
+
+``python -m repro.engine.shard_main --router HOST:PORT --name shard-0
+--workers 2`` starts a full single-manager engine (manager, local
+workers, payload store) and connects *out* to the router, mirroring how
+workers connect out to a manager.  The shard then serves the router's
+frames:
+
+* ``submit`` — deserialize the task, rewrite router-scoped declared
+  arguments to shard-local payload handles, give it a shard-local id,
+  and hand it to the manager.  Completions ship back as ``task_done``
+  frames keyed by the router's id.
+* ``install_library`` / ``stage_library`` — install a library blob (or
+  just park it in the stage directory for a later re-home).  Staged
+  blobs are served to *peer shards* by a small blob server thread, so a
+  spanning-tree broadcast only crosses the router once.
+* ``declare`` / ``release`` — mirror a declared argument into the
+  shard's own payload store (segments are per-process, so every shard
+  re-declares from the blob and keeps a digest → local-handle map).
+* ``cancel`` — withdraw a queued task; answers ``cancel_result``.
+
+The loop interleaves ``select`` on the router socket with
+``manager._advance`` ticks, so shard-local dispatch keeps flowing while
+the router is idle.  The router socket uses ``select`` + a buffered
+check before ``receive`` (``receive(timeout=0)`` is not pollable).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import select
+import socket
+import sys
+import threading
+import time
+from typing import Any, Dict, Optional
+
+from repro.engine import messages, payloads
+from repro.engine.factory import LocalWorkerFactory
+from repro.engine.manager import Manager
+from repro.engine.task import FunctionCall, PythonTask, Task, TaskState
+from repro.serialize.core import deserialize, serialize
+from repro.serialize.source import FunctionCode
+from repro.util.logging import get_logger
+
+
+class _BlobServer(threading.Thread):
+    """Serves staged library blobs to peer shards by digest.
+
+    Same shape as the worker's peer-transfer server: a daemon thread
+    that only reads atomically-renamed files, so it needs no lock
+    against the main loop.
+    """
+
+    def __init__(self, stage_dir: str):
+        super().__init__(daemon=True, name="shard-blob-server")
+        self.stage_dir = stage_dir
+        self.sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self.sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self.sock.bind(("127.0.0.1", 0))
+        self.sock.listen(16)
+        self.port = self.sock.getsockname()[1]
+        self._stop = threading.Event()
+
+    def run(self) -> None:
+        self.sock.settimeout(0.2)
+        while not self._stop.is_set():
+            try:
+                client, _ = self.sock.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return
+            try:
+                conn = messages.Connection(client, name="peer-shard")
+                request, _ = conn.receive(timeout=5.0)
+                digest = str(request.get("digest", ""))
+                path = os.path.join(self.stage_dir, digest)
+                if request.get("type") == "get" and os.path.isfile(path):
+                    with open(path, "rb") as fh:
+                        data = fh.read()
+                    conn.send({"type": "data", "ok": True}, data)
+                else:
+                    conn.send({"type": "data", "ok": False, "error": "not staged"})
+            except Exception:
+                pass
+            finally:
+                client.close()
+
+    def stop(self) -> None:
+        self._stop.set()
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+
+def _fetch_blob(source: str, digest: str) -> bytes:
+    """Pull one staged blob from a peer shard's blob server."""
+    host, port = source.rsplit(":", 1)
+    conn = messages.connect(host, int(port), name="peer-fetch")
+    try:
+        conn.send({"type": "get", "digest": digest})
+        reply, data = conn.receive(timeout=30.0)
+        if not reply.get("ok"):
+            raise OSError(f"peer {source} has no blob {digest[:12]}")
+        return data
+    finally:
+        conn.close()
+
+
+class Shard:
+    """The shard-side event loop bridging a router connection to a Manager."""
+
+    def __init__(
+        self,
+        name: str,
+        router_addr: str,
+        *,
+        workers: int,
+        cores: int,
+        memory: int,
+        disk: int,
+        workdir: str,
+        library_eviction: bool = True,
+    ):
+        self.name = name
+        self.log = get_logger(f"shard.{name}")
+        os.makedirs(workdir, exist_ok=True)
+        self.stage_dir = os.path.join(workdir, "stage")
+        os.makedirs(self.stage_dir, exist_ok=True)
+        self.manager = Manager(
+            workdir=os.path.join(workdir, "manager"),
+            name=name,
+            enable_library_eviction=library_eviction,
+        )
+        self.factory = LocalWorkerFactory(
+            self.manager,
+            count=workers,
+            cores=cores,
+            memory=memory,
+            disk=disk,
+            workdir=os.path.join(workdir, "workers"),
+            name_prefix=f"{name}-worker",
+        )
+        self.blob_server = _BlobServer(self.stage_dir)
+        self.blob_server.start()
+        host, port = router_addr.rsplit(":", 1)
+        self.conn = messages.connect(host, int(port), name=f"shard-{name}")
+        self.conn.send(
+            {
+                "type": "register_shard",
+                "shard": name,
+                "pid": os.getpid(),
+                "blob_port": self.blob_server.port,
+            }
+        )
+        welcome, _ = self.conn.receive(timeout=10.0)
+        messages.expect(welcome, "welcome")
+        # router task id -> shard-local task; local ids are reassigned so
+        # router-side ids can never collide with shard-created ones
+        # (library tasks draw from this process's counter too).
+        self._tasks: Dict[int, Task] = {}
+        self._router_ids: Dict[int, int] = {}  # local id -> router id
+        self._args: Dict[str, payloads.PayloadArg] = {}  # router digest -> local
+        self._running = True
+        self._last_status = 0.0
+
+    # ------------------------------------------------------------ main loop
+    def run(self) -> int:
+        with self.manager, self.factory:
+            while self._running:
+                advanced = self._drain_router()
+                self.manager._advance(0.0 if advanced else 0.02)
+                self._ship_completed()
+                self._maybe_status()
+            return 0
+
+    def _drain_router(self) -> bool:
+        handled = False
+        while True:
+            try:
+                r, _, _ = select.select([self.conn.sock], [], [], 0)
+                buffered = len(self.conn._recv_buffer) > self.conn._recv_pos
+                if not r and not buffered:
+                    return handled
+                message, payload = self.conn.receive(timeout=1.0)
+            except TimeoutError:
+                return handled
+            except Exception as exc:
+                self.log.warning("router connection lost (%s); shutting down", exc)
+                self._running = False
+                return handled
+            handled = True
+            try:
+                self._handle(message, payload)
+            except Exception as exc:
+                self.log.exception("error handling %s", message.get("type"))
+                try:
+                    self.conn.send({"type": "error", "error": str(exc)})
+                except Exception:
+                    self._running = False
+                    return handled
+
+    def _handle(self, message: dict, payload: bytes) -> None:
+        mtype = message.get("type")
+        if mtype == "submit":
+            self._on_submit(message, payload)
+        elif mtype == "install_library":
+            self._on_install(message, payload)
+        elif mtype == "stage_library":
+            self._on_stage(message, payload)
+        elif mtype == "declare":
+            self._on_declare(message, payload)
+        elif mtype == "release":
+            self._on_release(message)
+        elif mtype == "cancel":
+            self._on_cancel(message)
+        elif mtype == "shutdown":
+            self._running = False
+        else:
+            self.conn.send({"type": "error", "error": f"unknown frame {mtype!r}"})
+
+    # -------------------------------------------------------------- handlers
+    def _on_submit(self, message: dict, payload: bytes) -> None:
+        router_id = int(message["router_id"])
+        task: Task = deserialize(payload)
+        if isinstance(task, PythonTask) and isinstance(task.fn, FunctionCode):
+            task.fn = task.fn.reconstruct()
+        # Reset to a fresh local identity: the router already stamped
+        # SUBMITTED on its authoritative copy, and local ids must come
+        # from this process's counter to stay unique here.
+        from repro.engine.task import _task_ids
+
+        task.id = next(_task_ids)
+        task.state = TaskState.CREATED
+        task.worker = None
+        self._rewrite_args(task)
+        self.manager.submit(task)
+        self._tasks[task.id] = task
+        self._router_ids[task.id] = router_id
+
+    def _rewrite_args(self, task: Task) -> None:
+        """Map router-scoped PayloadArg placeholders to shard-local ones."""
+        if not hasattr(task, "args"):
+            return
+
+        def swap(value):
+            if isinstance(value, payloads.PayloadArg):
+                local = self._args.get(value.digest)
+                if local is None:
+                    raise ValueError(
+                        f"task references undeclared argument {value.digest[:12]}"
+                    )
+                return local
+            return value
+
+        task.args = tuple(swap(a) for a in task.args)
+        task.kwargs = {k: swap(v) for k, v in task.kwargs.items()}
+
+    def _blob_path(self, digest: str) -> str:
+        return os.path.join(self.stage_dir, digest)
+
+    def _stage_bytes(self, digest: str, blob: bytes) -> None:
+        path = self._blob_path(digest)
+        if os.path.exists(path):
+            return
+        tmp = f"{path}.tmp.{os.getpid()}"
+        with open(tmp, "wb") as fh:
+            fh.write(blob)
+        os.replace(tmp, path)
+
+    def _obtain_blob(self, message: dict, payload: bytes) -> bytes:
+        """The library blob from the frame, the stage dir, or a peer."""
+        digest = str(message["digest"])
+        if payload:
+            self._stage_bytes(digest, payload)
+            return payload
+        if message.get("from_stage") or not message.get("source"):
+            with open(self._blob_path(digest), "rb") as fh:
+                return fh.read()
+        blob = _fetch_blob(str(message["source"]), digest)
+        self._stage_bytes(digest, blob)
+        return blob
+
+    def _on_install(self, message: dict, payload: bytes) -> None:
+        blob = self._obtain_blob(message, payload)
+        library = deserialize(blob)
+        if library.name not in self.manager._libraries:
+            self.manager.install_library(library)
+        self.conn.send(
+            {"type": "library_ready", "name": library.name, "digest": message["digest"]}
+        )
+
+    def _on_stage(self, message: dict, payload: bytes) -> None:
+        self._obtain_blob(message, payload)
+        self.conn.send(
+            {"type": "staged", "name": message.get("name"), "digest": message["digest"]}
+        )
+
+    def _on_declare(self, message: dict, payload: bytes) -> None:
+        digest = str(message["digest"])
+        if digest not in self._args:
+            value = deserialize(payload)
+            self._args[digest] = self.manager.declare_argument(value)
+
+    def _on_release(self, message: dict) -> None:
+        local = self._args.pop(str(message["digest"]), None)
+        if local is not None:
+            self.manager.release_argument(local)
+
+    def _on_cancel(self, message: dict) -> None:
+        router_id = int(message["router_id"])
+        local_id = next(
+            (lid for lid, rid in self._router_ids.items() if rid == router_id), None
+        )
+        task = self._tasks.get(local_id) if local_id is not None else None
+        ok = self.manager.cancel(task) if task is not None else False
+        self.conn.send({"type": "cancel_result", "router_id": router_id, "ok": ok})
+
+    # ------------------------------------------------------------ completion
+    def _ship_completed(self) -> None:
+        while True:
+            task = self.manager.wait(timeout=0.0)
+            if task is None:
+                return
+            router_id = self._router_ids.pop(task.id, None)
+            self._tasks.pop(task.id, None)
+            if router_id is None:
+                continue  # not a router task (defensive)
+            if task.exception is not None:
+                outcome: Dict[str, Any] = {"error": task.exception}
+            else:
+                outcome = {"value": task._result}
+            outcome["timeline"] = dict(task.timeline)
+            try:
+                blob = serialize(outcome)
+            except Exception as exc:
+                blob = serialize(
+                    {"error": RuntimeError(f"unserializable outcome: {exc}")}
+                )
+            self.conn.send(
+                {"type": "task_done", "router_id": router_id, "shard": self.name},
+                blob,
+            )
+
+    def _maybe_status(self) -> None:
+        now = time.monotonic()
+        if now - self._last_status < 1.0:
+            return
+        self._last_status = now
+        stats = {
+            key: self.manager.stats[key]
+            for key in (
+                "submitted",
+                "completed",
+                "failed",
+                "cancelled",
+                "requeued",
+                "invocations_dispatched",
+                "tasks_dispatched",
+                "workers_lost",
+            )
+        }
+        stats["queued"] = self.manager.state.queued_count()
+        stats["running"] = len(self.manager.state.running)
+        stats["workers"] = len(self.manager.connected_workers())
+        try:
+            self.conn.send(
+                {"type": "shard_status", "shard": self.name, "stats": stats}
+            )
+        except Exception:
+            self._running = False
+
+    def close(self) -> None:
+        self.blob_server.stop()
+        try:
+            self.conn.close()
+        except Exception:
+            pass
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--router", required=True, help="router HOST:PORT")
+    parser.add_argument("--name", required=True)
+    parser.add_argument("--workers", type=int, default=1)
+    parser.add_argument("--cores", type=int, default=4)
+    parser.add_argument("--memory", type=int, default=4096)
+    parser.add_argument("--disk", type=int, default=4096)
+    parser.add_argument("--workdir", required=True)
+    parser.add_argument(
+        "--no-library-eviction",
+        action="store_true",
+        help="pin library instances (no evict-empty churn under queue pressure)",
+    )
+    args = parser.parse_args(argv)
+    shard = Shard(
+        args.name,
+        args.router,
+        workers=args.workers,
+        cores=args.cores,
+        memory=args.memory,
+        disk=args.disk,
+        workdir=args.workdir,
+        library_eviction=not args.no_library_eviction,
+    )
+    try:
+        return shard.run()
+    finally:
+        shard.close()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -189,3 +189,16 @@ class StatsShim(MutableMapping):
 
     def __repr__(self) -> str:
         return f"StatsShim({dict(self)!r})"
+
+
+def shard_stats(registry: MetricsRegistry, shard: str) -> StatsShim:
+    """The per-shard counter namespace on a shared registry.
+
+    A multi-manager deployment (:mod:`repro.engine.router`) labels every
+    shard's instruments with a ``shard.<name>.`` prefix on the *router's*
+    registry, so one snapshot (and one /metrics exposition) carries every
+    shard side by side: ``shard.shard-0.completed``,
+    ``shard.shard-1.completed``, ...  The returned shim reads and writes
+    that namespace with the plain-key mapping interface.
+    """
+    return StatsShim(registry, prefix=f"shard.{shard}.")

@@ -257,3 +257,119 @@ def test_store_then_load_identity_around_threshold(delta, seed):
         descriptor = store.put(data)
         assert store.get(descriptor["hash"]) == data
         assert payloads.fetch(descriptor) == data
+
+# ------------------------------------------------- pin-refcount symmetry
+def _total_pins(manager) -> int:
+    return sum(e.pins for e in manager.payloads._entries.values())
+
+
+def test_declare_release_pin_balance_above_threshold():
+    """A segment-backed declare takes exactly one pin; release returns it.
+
+    Regression guard for the declare/release asymmetry: pins must come
+    back to zero (not go negative, not linger) after every declare is
+    released, including double-release.
+    """
+    blob = os.urandom(payloads.threshold_bytes() + 4096)
+    with Manager() as manager:
+        if manager.payloads is None:
+            pytest.skip("shared memory unavailable on this host")
+        arg = manager.declare_argument(blob)
+        assert arg.shm is not None
+        assert _total_pins(manager) == 1
+        manager.release_argument(arg)
+        assert _total_pins(manager) == 0
+        # Releasing an already-released handle is a no-op, never a
+        # negative refcount.
+        manager.release_argument(arg)
+        assert _total_pins(manager) == 0
+    assert not _segments()
+
+
+def test_declare_release_pin_balance_below_threshold():
+    """Below-threshold declares are unbacked: no segment, no pin.
+
+    Regression guard for the pin-refcount leak — a tiny declared
+    argument used to pin a store entry it never shipped by descriptor,
+    squatting in the LRU forever.  Now the handle must carry
+    ``shm=None``, leave the store untouched, and release must stay
+    symmetric (only segment-backed handles ever unpin).
+    """
+    blob = os.urandom(max(64, payloads.threshold_bytes() // 4))
+    with Manager() as manager:
+        if manager.payloads is None:
+            pytest.skip("shared memory unavailable on this host")
+        entries_before = len(manager.payloads)
+        arg = manager.declare_argument(blob)
+        assert arg.shm is None
+        assert len(manager.payloads) == entries_before
+        assert _total_pins(manager) == 0
+        # The unbacked handle still resolves at dispatch time.
+        library = manager.create_library_from_functions(
+            "pin-below", _blob_len, function_slots=2
+        )
+        manager.install_library(library)
+        with LocalWorkerFactory(manager, count=1, cores=2):
+            call = FunctionCall("pin-below", "_blob_len", arg)
+            manager.submit(call)
+            manager.wait_all([call], timeout=120.0)
+            assert call.result == len(blob)
+        manager.release_argument(arg)
+        assert _total_pins(manager) == 0
+    assert not _segments()
+
+
+def _hold_blob(blob, seconds):
+    time.sleep(seconds)
+    return len(blob)
+
+
+def test_cancel_queued_calls_mid_run_pins_return_to_zero():
+    """Cancelling SUBMITTED work mid-run leaves no pins behind.
+
+    Regression guard for the cancel bookkeeping fix: a cancelled queued
+    task must be withdrawn from its queue eagerly (not tombstoned until
+    the dispatch loop happens by) and go through the same finish
+    bookkeeping as a completed one, so payload pins and slot accounting
+    drain to zero even when half the run is cancelled.
+    """
+    blob = os.urandom(300_000)  # above threshold: dispatches take pins
+    with Manager() as manager:
+        if manager.payloads is None:
+            pytest.skip("shared memory unavailable on this host")
+        arg = manager.declare_argument(blob)
+        library = manager.create_library_from_functions(
+            "pin-cancel", _hold_blob, function_slots=1
+        )
+        manager.install_library(library)
+        with LocalWorkerFactory(manager, count=1, cores=2):
+            calls = [
+                FunctionCall("pin-cancel", "_hold_blob", arg, 0.3)
+                for _ in range(6)
+            ]
+            for call in calls:
+                manager.submit(call)
+            # Drive until some calls are on workers, then cancel
+            # everything still queued.
+            deadline = time.monotonic() + 60.0
+            while (
+                not any(c.state.name == "DISPATCHED" for c in calls)
+                and time.monotonic() < deadline
+            ):
+                manager.wait(timeout=0.05)
+            queued = [c for c in calls if c.state.name == "SUBMITTED"]
+            assert queued, "every call dispatched before cancel could run"
+            for call in queued:
+                assert manager.cancel(call)
+                assert call.exception is not None  # failed eagerly
+            # Eager withdrawal: the queues are empty the moment cancel
+            # returns, not after a dispatch pass skips tombstones.
+            assert manager.state.queued_count() == 0
+            survivors = [c for c in calls if c not in queued]
+            manager.wait_all(calls, timeout=120.0)
+            assert all(c.result == len(blob) for c in survivors)
+        manager.release_argument(arg)
+        # Every pin drained: the declared argument's and every
+        # per-dispatch task-blob pin taken for the survivors.
+        assert _total_pins(manager) == 0
+    assert not _segments()

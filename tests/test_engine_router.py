@@ -1,0 +1,176 @@
+"""Router + shard processes: sharded submission, stickiness, cancel, loss.
+
+Covers the multi-manager deployment of DESIGN.md §2g: a stateless
+:class:`~repro.engine.router.Router` consistent-hashes contexts across N
+manager (shard) processes, keeps every invocation of a library sticky to
+the shard holding its warm instances, forwards the Manager submission
+API (submit/wait/wait_all/cancel/declare_argument) over the wire, and on
+shard loss re-homes libraries from the pre-staged blobs and retries the
+lost tasks with the shard in their blame set.
+
+These tests spawn real subprocesses (one shard = one manager + its
+workers), so they share one 2-shard router across the module; the
+shard-loss test builds its own 3-shard router because it kills one.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.engine.router import Router
+from repro.engine.task import FunctionCall, PythonTask, TaskState
+from repro.errors import LibraryError
+
+
+def _double(x):
+    return 2 * x
+
+
+def _blob_len(blob):
+    return len(blob)
+
+
+def _nap(x, seconds):
+    import time as _time
+
+    _time.sleep(seconds)
+    return x
+
+
+@pytest.fixture(scope="module")
+def router():
+    with Router(shards=2, workers_per_shard=1, worker_cores=2) as r:
+        yield r
+
+
+# ----------------------------------------------------------------- plumbing
+def test_router_spawns_registered_shards(router):
+    assert router.shard_names() == ["shard-0", "shard-1"]
+    for name in router.shard_names():
+        link = router._shards[name]
+        assert link.pid is not None
+        assert link.blob_port is not None
+
+
+def test_python_task_round_trip(router):
+    task = PythonTask(_double, 21)
+    router.submit(task)
+    router.wait_all([task], timeout=120.0)
+    assert task.state is TaskState.DONE
+    assert task.result == 42
+
+
+def test_submit_unknown_library_rejected(router):
+    with pytest.raises(LibraryError):
+        router.submit(FunctionCall("nope", "f", 1))
+
+
+def test_double_install_rejected(router):
+    library = router.create_library_from_functions("dup-lib", _double)
+    router.install_library(library)
+    with pytest.raises(LibraryError):
+        router.install_library(
+            router.create_library_from_functions("dup-lib", _double)
+        )
+
+
+# --------------------------------------------------------------- stickiness
+def test_function_calls_sticky_to_library_home(router):
+    library = router.create_library_from_functions(
+        "sticky-lib", _double, function_slots=2
+    )
+    router.install_library(library)
+    home = router._libraries["sticky-lib"].home
+    assert home in router.shard_names()
+    # The blob is pre-staged on the *other* shard even though execution
+    # stays home — that's the warm standby the loss path re-homes from.
+    assert set(router._libraries["sticky-lib"].staged) == set(
+        router.shard_names()
+    )
+    calls = [FunctionCall("sticky-lib", "_double", i) for i in range(8)]
+    routed_to = []
+    for call in calls:
+        router.submit(call)
+        routed_to.append(router._task_shard[call.id])
+    router.wait_all(calls, timeout=120.0)
+    assert [c.result for c in calls] == [2 * i for i in range(8)]
+    assert set(routed_to) == {home}
+
+
+# ---------------------------------------------------------- declared args
+def test_declared_argument_round_trip(router):
+    blob = os.urandom(300_000)
+    library = router.create_library_from_functions(
+        "declare-lib", _blob_len, function_slots=2
+    )
+    router.install_library(library)
+    arg = router.declare_argument(blob)
+    assert arg.shm is None  # router-scoped handle: segments are per-shard
+    calls = [FunctionCall("declare-lib", "_blob_len", arg) for _ in range(4)]
+    for call in calls:
+        router.submit(call)
+    router.wait_all(calls, timeout=120.0)
+    assert all(c.result == len(blob) for c in calls)
+    router.release_argument(arg)
+    assert arg.digest not in router._declared
+    # Releasing twice is a no-op.
+    router.release_argument(arg)
+
+
+# -------------------------------------------------------------------- cancel
+def test_cancel_queued_true_dispatched_false(router):
+    library = router.create_library_from_functions(
+        "cancel-lib", _nap, function_slots=1
+    )
+    router.install_library(library)
+    calls = [FunctionCall("cancel-lib", "_nap", i, 2.0) for i in range(4)]
+    for call in calls:
+        router.submit(call)
+    # Give the shard time to dispatch the head of the queue into its
+    # library instances, then cancel from both ends of the pipeline.
+    deadline = time.monotonic() + 30.0
+    while time.monotonic() < deadline:
+        router._advance(0.05)
+        status = router.shard_stats(router._task_shard[calls[0].id])
+        if status.get("running", 0) > 0:
+            break
+    assert router.cancel(calls[-1]) is True  # still queued: withdrawn
+    router.wait_all([calls[-1]], timeout=30.0)
+    assert calls[-1].state is TaskState.FAILED
+    assert calls[-1].exception is not None
+    assert router.cancel(calls[0]) is False  # executing: not cancellable
+    router.wait_all(calls[:-1], timeout=120.0)
+    assert [c.result for c in calls[:-1]] == [0, 1, 2]
+    # Cancelling a task the router no longer tracks is False, not an error.
+    assert router.cancel(calls[0]) is False
+
+
+# --------------------------------------------------------------- shard loss
+def test_shard_loss_rehomes_library_and_retries_with_blame():
+    with Router(shards=3, workers_per_shard=1, worker_cores=2) as r:
+        library = r.create_library_from_functions(
+            "loss-lib", _nap, function_slots=2
+        )
+        r.install_library(library)
+        record = r._libraries["loss-lib"]
+        home = record.home
+        assert set(record.staged) == set(r.shard_names())
+        calls = [FunctionCall("loss-lib", "_nap", i, 0.3) for i in range(6)]
+        for call in calls:
+            r.submit(call)
+        # Let the home shard take work, then kill it mid-run.
+        deadline = time.monotonic() + 30.0
+        while time.monotonic() < deadline:
+            r._advance(0.05)
+            if r.shard_stats(home).get("running", 0) > 0:
+                break
+        r._shards[home].proc.kill()
+        r.wait_all(calls, timeout=180.0)
+        assert home not in r._shards
+        assert record.home != home
+        assert record.home in r._shards
+        assert [c.result for c in calls] == list(range(6))
+        blamed = [c for c in calls if f"shard:{home}" in c.workers_lost_on]
+        assert blamed, "no task recorded the lost shard in its blame set"
+        assert all(c.retries >= 1 for c in blamed)

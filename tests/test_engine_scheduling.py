@@ -232,3 +232,146 @@ def test_slot_accounting_invariant_property(n_workers, slots, n_invocations):
         for w in p.workers.values()
         for li in w.libraries.values()
     )
+
+
+# ---------------------------------------------------------- virtual nodes
+def test_ring_replicas_one_matches_legacy_positions():
+    """replicas=1 hashes the bare name: identical order to the old ring."""
+    legacy = HashRing()
+    virtual = HashRing(replicas=1)
+    for name in ["w1", "w2", "w3", "w4"]:
+        legacy.add(name)
+        virtual.add(name)
+    for key in ["a", "b", "lib-007", "shardbench-3"]:
+        assert list(legacy.walk(key)) == list(virtual.walk(key))
+
+
+def test_ring_replicas_still_walks_each_member_once():
+    ring = HashRing(replicas=64)
+    for name in ["s0", "s1", "s2", "s3"]:
+        ring.add(name)
+    for key in ["k1", "k2", "k3"]:
+        assert sorted(ring.walk(key)) == ["s0", "s1", "s2", "s3"]
+    assert len(ring) == 4  # members, not virtual points
+    ring.remove("s2")
+    assert sorted(ring.walk("k1")) == ["s0", "s1", "s3"]
+    assert len(ring) == 3
+
+
+def test_ring_replicas_reduce_partition_skew():
+    """The router's reason for virtual nodes: with 4 shards and one point
+    each, a hash partition of many keys is badly skewed; 64 points per
+    shard keep every shard's share within sane bounds."""
+    keys = [f"lib-{i:03d}" for i in range(256)]
+
+    def shares(ring):
+        counts = {}
+        for key in keys:
+            home = next(ring.walk(key))
+            counts[home] = counts.get(home, 0) + 1
+        return counts
+
+    flat = HashRing()
+    virtual = HashRing(replicas=64)
+    for name in ["s0", "s1", "s2", "s3"]:
+        flat.add(name)
+        virtual.add(name)
+    assert max(shares(flat).values()) > 96  # documented skew: >1.5x fair
+    spread = shares(virtual)
+    assert len(spread) == 4
+    assert max(spread.values()) <= 96  # every shard within 1.5x of 64
+
+
+def test_ring_replicas_must_be_positive():
+    with pytest.raises(SchedulingError):
+        HashRing(replicas=0)
+
+
+# ------------------------------------------------------------- shard state
+def _shard_tasks():
+    from repro.engine.task import FunctionCall, PythonTask
+
+    def fn(x):
+        return x
+
+    return FunctionCall("libA", "f", 1), PythonTask(fn, 2)
+
+
+def test_shard_state_enqueue_routes_by_task_kind():
+    from repro.engine.scheduling import ShardState
+
+    state = ShardState()
+    call, task = _shard_tasks()
+    state.enqueue(call)
+    state.enqueue(task)
+    assert list(state.pending_invocations["libA"]) == [call]
+    assert list(state.ready_tasks) == [task]
+    assert "libA" in state.dirty_libraries and state.tasks_dirty
+    assert state.queued_count() == 2
+    assert state.queue_depths() == {"libA": 1, "<tasks>": 1}
+    assert not state.empty()
+
+
+def test_shard_state_requeue_at_front():
+    from repro.engine.task import FunctionCall
+    from repro.engine.scheduling import ShardState
+
+    state = ShardState()
+    first = FunctionCall("libA", "f", 1)
+    retried = FunctionCall("libA", "f", 2)
+    state.enqueue(first)
+    state.enqueue(retried, front=True)
+    assert list(state.pending_invocations["libA"]) == [retried, first]
+
+
+def test_shard_state_discard_queued():
+    from repro.engine.scheduling import ShardState
+
+    state = ShardState()
+    call, task = _shard_tasks()
+    state.enqueue(call)
+    state.enqueue(task)
+    assert state.discard_queued(call)
+    assert not state.discard_queued(call)  # already gone
+    assert state.discard_queued(task)
+    assert state.queued_count() == 0
+    assert state.empty()
+
+
+def test_shard_state_wake_all_marks_only_nonempty_queues():
+    from repro.engine.scheduling import ShardState
+
+    state = ShardState()
+    call, _ = _shard_tasks()
+    state.enqueue(call)
+    state.pending_invocations["libB"] = type(state.ready_tasks)()  # empty
+    state.dirty_libraries.clear()
+    state.tasks_dirty = False
+    state.wake_all()
+    assert state.dirty_libraries == {"libA"}
+    assert not state.tasks_dirty
+
+
+def test_shard_state_backoff_gate():
+    from repro.engine.scheduling import ShardState
+
+    state = ShardState()
+    assert not state.take_backoff_wakeup(100.0)  # nothing noted
+    state.note_backoff(50.0)
+    state.note_backoff(40.0)  # earlier expiry wins
+    state.note_backoff(60.0)  # later one must not extend the gate
+    assert not state.take_backoff_wakeup(39.9)
+    assert state.take_backoff_wakeup(40.0)
+    assert not state.take_backoff_wakeup(100.0)  # gate cleared after firing
+
+
+def test_shard_state_empty_tracks_running():
+    from repro.engine.scheduling import ShardState
+
+    state = ShardState()
+    call, _ = _shard_tasks()
+    assert state.empty()
+    state.running[call.id] = call
+    assert not state.empty()
+    del state.running[call.id]
+    assert state.empty()
