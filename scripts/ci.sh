@@ -127,6 +127,58 @@ print(message)
 sys.exit(0 if ok else 1)
 GATE
 
+# Serving-layer policy gate: the property/regression suites for the
+# pluggable policies (sticky affinity, prewarm predictor, fair-share
+# admission), then the A/B harness replaying one Zipf-skewed workload
+# under every policy.  The harness writes the scorecard
+# (BENCH_policy.json) on each run; the gate reads the emitted deltas:
+# warmth-ranked eviction must beat the legacy order by >=20 warm-hit
+# points on the identical sequence, and fair-share admission must hold
+# the starved tenants' p99 queue wait within 3x their fair-share value
+# (the same burst with no hog tenant at all).
+echo "== serving-policy suites (cap ${FAULTS_CAP}s) =="
+timeout --signal=TERM --kill-after=30 "$FAULTS_CAP" \
+    python -m pytest -x -q tests/test_engine_policies.py \
+    tests/test_policy_predictor.py tests/test_policy_warmhit.py
+
+echo "== serving-policy A/B gate (cap ${BENCH_CAP}s) =="
+timeout --signal=TERM --kill-after=30 "$BENCH_CAP" \
+    env REPRO_BENCH_SMOKE=1 python - <<'GATE'
+import sys
+
+from repro.bench import policy_ab
+
+result = policy_ab()
+print(result.text)
+v = result.values
+if v["failed"]:
+    print(f"FAIL: {v['failed']:.0f} policy-harness invocations failed")
+    sys.exit(1)
+if v["sticky_warm_delta"] < 0.20:
+    print(
+        f"FAIL: sticky warm-hit delta {v['sticky_warm_delta']:+.3f} "
+        "below the +0.20 gate"
+    )
+    sys.exit(1)
+if v["prewarm_warm_delta"] < 0.20:
+    print(
+        f"FAIL: prewarm warm-hit delta {v['prewarm_warm_delta']:+.3f} "
+        "below the +0.20 gate"
+    )
+    sys.exit(1)
+if v["fair_mouse_stretch"] > 3.0:
+    print(
+        f"FAIL: fair-share mouse p99 stretch {v['fair_mouse_stretch']:.2f} "
+        "exceeds 3x the no-hog fair-share wait"
+    )
+    sys.exit(1)
+print(
+    f"sticky {v['sticky_warm_delta']:+.3f} / "
+    f"prewarm {v['prewarm_warm_delta']:+.3f} warm-hit points over "
+    f"reactive; fair mouse stretch {v['fair_mouse_stretch']:.2f}x <= 3x"
+)
+GATE
+
 # Live-telemetry pipeline: perflog sampler + txn log + /metrics and
 # /status server scraped mid-run, then the same workload timed in
 # back-to-back telemetry-on/off pairs, gating the minimum pair delta

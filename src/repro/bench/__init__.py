@@ -20,6 +20,7 @@ from repro.bench.experiments import (
     fig9_worker_sweep,
     extension_examol_l3,
     payload_plane,
+    policy_ab,
     shard_throughput,
     fig10_11_library_curves,
     table2_overhead,
@@ -35,6 +36,7 @@ __all__ = [
     "chaos_smoke",
     "dispatch_throughput",
     "payload_plane",
+    "policy_ab",
     "shard_throughput",
     "table2_overhead",
     "table4_runtime_stats",

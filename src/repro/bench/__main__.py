@@ -25,6 +25,7 @@ EXPERIMENTS: Dict[str, Callable[..., object]] = {
     "dispatch": lambda n: experiments.dispatch_throughput(),
     "payload": lambda n: experiments.payload_plane(),
     "shard": lambda n: experiments.shard_throughput(),
+    "policy": lambda n: experiments.policy_ab(),
     "chaos": lambda n: experiments.chaos_smoke(),
     "table2": lambda n: experiments.table2_overhead(),
     "fig6": lambda n: experiments.fig6_execution_times(lnni_invocations=n),

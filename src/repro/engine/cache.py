@@ -44,6 +44,7 @@ class WorkerCache:
         on_evict: Optional[callable] = None,
         registry: Optional[MetricsRegistry] = None,
         tracer=None,
+        retain: Optional[callable] = None,
     ):
         self.root = root
         os.makedirs(root, exist_ok=True)
@@ -67,6 +68,12 @@ class WorkerCache:
         # tell the manager the replica is gone — otherwise the manager's
         # replica map silently goes stale and later dispatches fail.
         self.on_evict = on_evict
+        # Eviction-deferral hook (serving-layer keep-alive): a predicate
+        # over digests; entries it marks are passed over while any other
+        # unpinned victim exists.  Advisory only — when every unpinned
+        # entry is retained the LRU choice proceeds anyway, so a greedy
+        # predicate can never wedge the cache.
+        self.retain = retain
 
     @property
     def hits(self) -> int:
@@ -121,7 +128,20 @@ class WorkerCache:
         while self._used_bytes + incoming > self.capacity:
             if self._pinned_entries == len(self._entries):
                 raise CacheError("cache full and every entry is pinned")
-            victim = next(d for d, e in self._entries.items() if e.pins == 0)
+            victim = None
+            if self.retain is not None:
+                # Prefer an unpinned entry the keep-alive predicate does
+                # NOT want retained; fall back to plain LRU below.
+                victim = next(
+                    (
+                        d
+                        for d, e in self._entries.items()
+                        if e.pins == 0 and not self.retain(d)
+                    ),
+                    None,
+                )
+            if victim is None:
+                victim = next(d for d, e in self._entries.items() if e.pins == 0)
             entry = self._entries.pop(victim)
             self._used_bytes -= entry.size
             try:

@@ -56,6 +56,7 @@ from repro.discover.packaging import pack_environment
 from repro.distribute.topology import TransferMode
 from repro.engine import messages, payloads
 from repro.engine.files import FileStore, VineFile
+from repro.engine.policies import SchedulingPolicy, resolve_policy
 from repro.engine.resources import Resources
 from repro.engine.scheduling import LibraryInstance, Placement, ShardState
 from repro.engine.task import (
@@ -169,10 +170,15 @@ class Manager:
         perflog_dir: str | None = None,
         perflog_interval: float | None = None,
         status_port: int | None = None,
+        policy: "str | SchedulingPolicy | None" = None,
     ):
         self.name = name
         self.transfer_mode = transfer_mode
         self.enable_library_eviction = enable_library_eviction
+        # Serving-layer scheduling strategy (repro.engine.policies).
+        # None (and REPRO_POLICY unset) keeps the legacy inline scheduler
+        # with zero per-decision policy overhead.
+        self.policy = resolve_policy(policy)
         if liveness_deadline is not None and liveness_deadline <= 0:
             raise EngineError("liveness_deadline must be positive or None")
         if max_retries < 0:
@@ -189,7 +195,7 @@ class Manager:
         # Every queue, dirty set, in-flight index, and the placement
         # table live behind the explicit per-shard state interface; the
         # router runs N managers, each owning one independent ShardState.
-        self.state = ShardState()
+        self.state = ShardState(policy=self.policy)
         self.placement = self.state.placement
         self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
@@ -213,6 +219,23 @@ class Manager:
         # preserves the historical mapping interface (stats["x"] += 1).
         self.metrics = MetricsRegistry()
         self.stats = StatsShim(self.metrics)
+        # policy.* instruments are maintained whether or not a policy is
+        # active, so the A/B harness reads warm-hit ratio the same way
+        # under the reactive baseline and under every strategy.
+        self._policy_warm = self.metrics.counter("policy.warm_hits")
+        self._policy_cold = self.metrics.counter("policy.cold_hits")
+        self._policy_prewarms = self.metrics.counter("policy.prewarms")
+        self._policy_prewarm_hits = self.metrics.counter("policy.prewarm_hits")
+        if self.policy is not None:
+            self.policy.bind(self.metrics)
+        # instance ids deployed speculatively by the prewarm tick; the
+        # first invocation each one catches counts as a prewarm hit.
+        self._prewarmed: Set[int] = set()
+        self._next_prewarm = 0.0
+        # invocation task id -> instance id, for cold dispatches only:
+        # lets task_cost attribute the instance's deploy overhead
+        # (env_setup) to the invocation that paid the cold start.
+        self._cold_instance: Dict[int, int] = {}
         # Zero-copy payload plane: big argument/result blobs live in the
         # content-addressed shared-memory store and cross the wire as
         # descriptors; None when shm is unavailable (pure inline mode).
@@ -432,12 +455,27 @@ class Manager:
         elif isinstance(task, LibraryTask):
             raise EngineError("libraries are installed, not submitted")
         task.state = TaskState.SUBMITTED
-        task.mark("submitted", time.monotonic())
+        now = time.monotonic()
+        task.mark("submitted", now)
         self.state.enqueue(task)
         self.stats["submitted"] += 1
-        self.perflog.transition(
-            "task_submit", task=task.id, kind=type(task).__name__
-        )
+        if isinstance(task, FunctionCall):
+            if self.policy is not None:
+                self.policy.note_arrival(task.library_name, now, tenant=task.tenant)
+            # The txnlog's task_submit stream doubles as the arrival
+            # history the prewarm predictor can be seeded from offline
+            # (repro.obs.arrivals), so invocations carry their context.
+            self.perflog.transition(
+                "task_submit",
+                task=task.id,
+                kind=type(task).__name__,
+                library=task.library_name,
+                tenant=task.tenant,
+            )
+        else:
+            self.perflog.transition(
+                "task_submit", task=task.id, kind=type(task).__name__
+            )
         self.tracer.record(
             "task_submit", task_id=str(task.id), kind=type(task).__name__
         )
@@ -569,6 +607,7 @@ class Manager:
         if entry is None:
             entry = self._warm_cold[context] = {"warm": 0, "cold": 0}
         entry["warm" if warm else "cold"] += 1
+        (self._policy_warm if warm else self._policy_cold).inc()
 
     def _context_snapshot(self) -> Dict[str, Dict[str, int]]:
         """Per-context occupancy merged with cumulative warm/cold counts."""
@@ -754,6 +793,9 @@ class Manager:
         now = time.monotonic()
         if self.state.take_backoff_wakeup(now):
             self._wake_all()  # backed-off tasks are redispatchable again
+        if self.policy is not None and now >= self._next_prewarm:
+            self._next_prewarm = now + 0.2
+            self._maybe_prewarm(now)
         # Liveness runs AFTER the event drain: a healthy worker always has
         # heartbeats queued on its socket, so even if the manager itself
         # stalled past the deadline, processing those first refreshes
@@ -845,7 +887,26 @@ class Manager:
                 self.state.tasks_dirty = False
                 self._dispatch_task_queue()
             while self.state.dirty_libraries:
-                self._dispatch_library_queue(self.state.dirty_libraries.pop())
+                if self.policy is None:
+                    self._dispatch_library_queue(self.state.dirty_libraries.pop())
+                    continue
+                # Policy-ordered drain: the policy picks which dirty
+                # queue to serve (fair queueing picks the tenant with the
+                # smallest virtual finish) and may cap the visit with a
+                # quantum; a queue stopped by its quantum re-marks itself
+                # dirty, so the loop round-robins instead of draining one
+                # tenant to exhaustion.  Each re-mark implies >=1
+                # dispatch, so the loop still terminates.
+                name = self.policy.next_dirty(self.state)
+                if name is None or name not in self.state.dirty_libraries:
+                    name = self.state.dirty_libraries.pop()
+                else:
+                    self.state.dirty_libraries.discard(name)
+                served = self._dispatch_library_queue(
+                    name, limit=self.policy.quantum(name)
+                )
+                if served:
+                    self.policy.note_service(self.policy.tenant_of(name), served)
         finally:
             self._flush_round()
 
@@ -871,22 +932,33 @@ class Manager:
                 requeue.append(task)
         self.state.ready_tasks.extend(requeue)
 
-    def _dispatch_library_queue(self, library_name: str) -> None:
+    def _dispatch_library_queue(
+        self, library_name: str, limit: Optional[int] = None
+    ) -> int:
         """Drain one library's pending deque into free slots.
 
         When no instance has a free slot, grow capacity the way the old
         per-tick scan did — one deploy attempt per still-uncovered pending
         invocation, then one eviction attempt — and go dormant until the
         next capacity event re-marks this library dirty.
+
+        ``limit`` caps dispatches for this visit (the fair-queueing
+        quantum); a visit stopped by its limit with work left re-marks
+        the queue dirty so the dispatch loop comes back after serving
+        other tenants.  Returns the number of invocations dispatched.
         """
         queue = self.state.pending_invocations.get(library_name)
         library = self._libraries.get(library_name)
         if not queue or library is None:
-            return
+            return 0
         now = time.monotonic()
         warming_slots = 0
+        dispatched = 0
         deferred: List[FunctionCall] = []  # backing off; restored at the end
         while queue:
+            if limit is not None and dispatched >= limit:
+                self.state.dirty_libraries.add(library_name)
+                break
             head = queue[0]
             if head.state is not TaskState.SUBMITTED:
                 queue.popleft()  # cancelled tombstone
@@ -902,9 +974,17 @@ class Manager:
             if inst is not None:
                 queue.popleft()
                 self._dispatch_invocation(head, inst)
+                dispatched += 1
                 continue
             if warming_slots >= len(queue):
                 break  # instances already warming will cover the rest
+            if self.policy is not None and not self.policy.may_deploy(
+                library_name, library.resources, self.placement, self.state
+            ):
+                # Admission control: this tenant is at its fair share
+                # while others wait.  Don't evict on its behalf either;
+                # a capacity event (any instance going idle) re-wakes us.
+                break
             if self._deploy_library_somewhere(library):
                 warming_slots += max(1, library.function_slots)
                 continue
@@ -913,6 +993,7 @@ class Manager:
             break  # saturated; a capacity event will wake us
         if deferred:
             self._restore_deferred(queue, deferred)
+        return dispatched
 
     @staticmethod
     def _restore_deferred(
@@ -1236,13 +1317,31 @@ class Manager:
         # Warm/cold classification, before start_invocation mutates the
         # slot counts: a warm invocation lands on an instance that has
         # already served or is concurrently serving work (its context is
-        # resident); a cold one pays the instance's first-use setup.
+        # resident); a cold one pays the instance's first-use setup.  An
+        # instance the prewarm tick staged ahead of the forecast arrival
+        # is warm by construction — its context was resident before the
+        # invocation existed — and counts into prewarm precision.
         warm = inst.total_served > 0 or inst.used_slots > 0
+        if not warm and inst.instance_id in self._prewarmed:
+            warm = True
+            self._policy_prewarm_hits.inc()
+        self._prewarmed.discard(inst.instance_id)
+        if not warm and self.tracer.enabled:
+            # Attribute this instance's deploy overhead (env_setup) to
+            # the invocation paying the cold start, for task_cost.
+            self._cold_instance[task.id] = inst.instance_id
         self._note_warm_cold(task.library_name, warm=warm)
         self.placement.start_invocation(inst)
         task.state = TaskState.DISPATCHED
         task.worker = inst.worker
-        task.mark("dispatched", time.monotonic())
+        dispatched_at = time.monotonic()
+        task.mark("dispatched", dispatched_at)
+        if self.policy is not None:
+            self.policy.note_dispatch(task.library_name, inst.worker, dispatched_at)
+            self.policy.note_queue_wait(
+                task.tenant or task.library_name,
+                dispatched_at - task.timeline.get("submitted", dispatched_at),
+            )
         self.state.running[task.id] = task
         self.state.invocation_instance[task.id] = inst.instance_id
         self.stats["invocations_dispatched"] += 1
@@ -1263,7 +1362,35 @@ class Manager:
             instance=inst.instance_id,
         )
 
-    def _deploy_library_somewhere(self, library: LibraryTask) -> bool:
+    def _maybe_prewarm(self, now: float) -> None:
+        """Pre-stage library instances ahead of forecast demand.
+
+        Runs on the policy tick (every 0.2 s in ``_advance``): whatever
+        the active policy forecasts as imminent-but-undeployed gets one
+        speculative deploy, counted in ``policy.prewarms``; the first
+        invocation such an instance catches counts a prewarm hit, so
+        precision = prewarm_hits / prewarms.
+
+        Speculation yields to demand: while any library has queued
+        invocations, free capacity belongs to the dispatch path — a
+        prewarm grabbing a just-evicted slot would displace the very
+        deploy the eviction was made for and churn the pool.
+        """
+        assert self.policy is not None
+        if any(self.state.pending_invocations.values()):
+            return
+        for name in self.policy.prewarm_candidates(
+            self.placement, self._libraries, now
+        ):
+            library = self._libraries.get(name)
+            if library is None:
+                continue
+            if self._deploy_library_somewhere(library, prewarm=True):
+                self._policy_prewarms.inc()
+
+    def _deploy_library_somewhere(
+        self, library: LibraryTask, *, prewarm: bool = False
+    ) -> bool:
         """Place and send one new instance of ``library``; False if nothing fits."""
         placed = self.placement.place_library(
             library.name, library.function_slots, library.resources
@@ -1294,6 +1421,8 @@ class Manager:
         slot = self.placement.workers[worker]
         record = _InstanceRecord(instance=slot.libraries[instance_id], library=library)
         self._instances[instance_id] = record
+        if prewarm:
+            self._prewarmed.add(instance_id)
         self.stats["libraries_deployed"] += 1
         self.log.debug("deployed library %s#%d on %s", library.name, instance_id, worker)
         return True
@@ -1301,13 +1430,16 @@ class Manager:
     def _evict_empty_library(self, wanted_library: Optional[str]) -> bool:
         if not self.enable_library_eviction:
             return False
-        victim = self.placement.find_evictable_library(wanted_library)
+        victim = self.placement.find_evictable_library(
+            wanted_library, now=time.monotonic()
+        )
         if victim is None:
             return False
         record = self._instances.get(victim.instance_id)
         if record is None or record.removing:
             return False
         record.removing = True
+        self.placement.mark_removing(victim)
         link = self._link_for(victim.worker)
         link.conn.send_buffered(
             {"type": "remove_library", "instance_id": victim.instance_id}
@@ -1452,6 +1584,7 @@ class Manager:
     def _on_library_removed(self, message: dict) -> None:
         instance_id = int(message["instance_id"])
         record = self._instances.pop(instance_id, None)
+        self._prewarmed.discard(instance_id)  # evicted unused = prewarm miss
         if record is None:
             return
         self.perflog.transition(
@@ -1461,6 +1594,19 @@ class Manager:
             worker=record.instance.worker,
             served=record.instance.total_served,
         )
+        # The worker has confirmed the instance is gone, so anything
+        # still bound to it was dispatched into the removal window and
+        # never ran: requeue it and release its slot, or the instance
+        # would fail ``remove_library``'s active-invocation guard and
+        # its seat in the resource pool would leak forever.
+        for task_id, iid in list(self.state.invocation_instance.items()):
+            if iid != instance_id:
+                continue
+            task = self.state.running.pop(task_id, None)
+            self.state.invocation_instance.pop(task_id, None)
+            if task is not None:
+                self._requeue_task(task, blame=None)
+            record.instance.used_slots = max(0, record.instance.used_slots - 1)
         try:
             self.placement.remove_library(record.instance.worker, instance_id)
         except Exception:
@@ -1526,8 +1672,11 @@ class Manager:
             {f"overhead.{k}": v for k, v in times.items() if isinstance(v, float)}
         )
         task.overheads = times  # type: ignore[attr-defined]
+        cold_instance = self._cold_instance.pop(task.id, None)
         if self.tracer.enabled:
-            self._record_task_cost(task, times, ok=bool(outcome.get("ok")))
+            self._record_task_cost(
+                task, times, ok=bool(outcome.get("ok")), cold_instance=cold_instance
+            )
         exec_time = times.get("exec_time")
         if isinstance(exec_time, (int, float)):
             # Feeds /metrics tail quantiles and the report's straggler
@@ -1554,7 +1703,13 @@ class Manager:
         self._completed.append(task)
         self.stats["completed"] += 1
 
-    def _record_task_cost(self, task: Task, times: Dict[str, Any], ok: bool) -> None:
+    def _record_task_cost(
+        self,
+        task: Task,
+        times: Dict[str, Any],
+        ok: bool,
+        cold_instance: Optional[int] = None,
+    ) -> None:
         """Consolidate one finished task into the paper's six cost components.
 
         Sources: ``overhead.code_serialize`` / ``overhead.manager_transfer``
@@ -1563,9 +1718,23 @@ class Manager:
         ``deserialize`` / ``invoc_overhead`` / ``exec_time`` from the
         runner or library process.  Warm invocations show zero
         dependency-install and environment-setup cost — that amortization
-        is the L3 claim this event exists to measure.
+        is the L3 claim this event exists to measure.  A *cold*
+        invocation (first use of a fresh instance) is additionally
+        charged its instance's deploy overhead as ``env_setup``, the way
+        the paper bills context setup to the invocation that triggered
+        it — so counting ``env_setup > 0`` events over a trace counts
+        cold starts exactly (the warm-hit oracle test relies on this).
         """
         timeline = task.timeline
+        env_setup = float(times.get("reload_overhead", 0.0) or 0.0)
+        if cold_instance is not None:
+            record = self._instances.get(cold_instance)
+            if record is not None:
+                env_setup += sum(
+                    v for v in record.deploy_times.values()
+                    if isinstance(v, (int, float))
+                )
+            env_setup = max(env_setup, 1e-9)  # a cold start is never free
         self.tracer.record(
             "task_cost",
             task_id=str(task.id),
@@ -1576,7 +1745,7 @@ class Manager:
                 timeline.get("overhead.manager_transfer", 0.0)
                 + times.get("staging", 0.0)
             ),
-            env_setup=times.get("reload_overhead", 0.0),
+            env_setup=env_setup,
             deserialization=times.get(
                 "deserialize", times.get("invoc_overhead", 0.0)
             ),
@@ -1591,6 +1760,7 @@ class Manager:
         if task is None:
             return
         self._finish_bookkeeping(task)
+        self._cold_instance.pop(task.id, None)
         kind = message.get("kind")
         if kind == "requeue":
             # Worker-initiated requeue: the task was an innocent casualty
@@ -1673,6 +1843,7 @@ class Manager:
         carrying the full loss history.
         """
         self._unpin_task_payload(task)
+        self._cold_instance.pop(task.id, None)
         task.retries += 1
         task.worker = None
         if blame is not None:

@@ -55,6 +55,7 @@ from repro.discover.context import DataBinding, discover_context
 from repro.distribute.plan import plan_broadcast
 from repro.distribute.topology import Topology, TransferMode
 from repro.engine import messages, payloads
+from repro.engine.policies import SchedulingPolicy, resolve_policy
 from repro.engine.resources import Resources
 from repro.engine.scheduling import HashRing
 from repro.engine.task import (
@@ -145,6 +146,7 @@ class Router:
         connect_timeout: float = 60.0,
         spawn: bool = True,
         library_eviction: bool = True,
+        policy: "str | SchedulingPolicy | None" = None,
     ):
         if shards < 1:
             raise EngineError("router needs at least one shard")
@@ -153,6 +155,13 @@ class Router:
         self.max_retries = max_retries
         self.peer_cap = peer_cap
         self.library_eviction = library_eviction
+        # Serving-layer policy, applied at two levels: the router itself
+        # consults it for shard-level affinity (plain tasks follow the
+        # shard that last completed the same function), and every shard
+        # subprocess is started with the same policy name so manager-level
+        # routing matches.  FunctionCalls are already sticky to their
+        # library's home shard regardless of policy.
+        self.policy = resolve_policy(policy)
         self._owns_workdir = workdir is None
         self.workdir = workdir or tempfile.mkdtemp(prefix="repro-router-")
         os.makedirs(self.workdir, exist_ok=True)
@@ -243,6 +252,8 @@ class Router:
             ]
             if not self.library_eviction:
                 cmd.append("--no-library-eviction")
+            if self.policy is not None:
+                cmd.extend(["--policy", self.policy.name])
             procs.append(
                 (name, subprocess.Popen(cmd, stdout=subprocess.DEVNULL, stderr=subprocess.PIPE))
             )
@@ -468,10 +479,22 @@ class Router:
             for b in task.workers_lost_on
             if b.startswith("shard:")
         }
+        candidates = [
+            name
+            for name in self.ring.walk(f"task-{task.id}")
+            if name in self._shards
+        ]
+        if self.policy is not None and candidates:
+            # Shard-level sticky affinity: prefer the shard that last
+            # completed this function (its workers hold the warm context
+            # and cached code blob).  The blame filter below still runs
+            # after the policy, so a retry never lands on a blamed shard
+            # while an unblamed one is alive.
+            candidates = list(
+                self.policy.shard_order(self._affinity_key(task), candidates)
+            )
         fallback = None
-        for name in self.ring.walk(f"task-{task.id}"):
-            if name not in self._shards:
-                continue
+        for name in candidates:
             if fallback is None:
                 fallback = name
             if name not in blamed:
@@ -479,6 +502,12 @@ class Router:
         if fallback is None:
             raise EngineError("no live shards on the ring")
         return fallback  # every shard blamed: better to retry than wedge
+
+    @staticmethod
+    def _affinity_key(task: Task) -> str:
+        """Router-level affinity key for a plain task: its function name."""
+        fn = getattr(task, "fn", None)
+        return getattr(fn, "__name__", None) or type(task).__name__
 
     @staticmethod
     def _task_blob(task: Task) -> bytes:
@@ -644,7 +673,7 @@ class Router:
         router_id = int(message["router_id"])
         link.inflight.discard(router_id)
         task = self._inflight.pop(router_id, None)
-        self._task_shard.pop(router_id, None)
+        shard = self._task_shard.pop(router_id, None)
         if task is None:
             return
         outcome = deserialize(payload)
@@ -654,6 +683,12 @@ class Router:
         else:
             task.set_result(outcome.get("value"))
             self.stats["completed"] += 1
+            if (
+                self.policy is not None
+                and shard is not None
+                and isinstance(task, PythonTask)
+            ):
+                self.policy.note_shard_result(self._affinity_key(task), shard)
         for event, t in outcome.get("timeline", {}).items():
             task.timeline.setdefault(event, t)
         task.mark("completed", time.monotonic())

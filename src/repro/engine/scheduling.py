@@ -120,10 +120,16 @@ class LibraryInstance:
     used_slots: int = 0
     ready: bool = False
     total_served: int = 0  # share value: invocations completed by this instance
+    # An eviction is in flight: the worker owns a ``remove_library``
+    # for this instance, so it must be invisible to dispatch and to
+    # further victim searches until the removal ack frees its seat.
+    removing: bool = False
 
     @property
     def free_slots(self) -> int:
-        return self.slots - self.used_slots if self.ready else 0
+        if not self.ready or self.removing:
+            return 0
+        return self.slots - self.used_slots
 
     @property
     def idle(self) -> bool:
@@ -144,19 +150,38 @@ class WorkerSlot:
 
 
 class Placement:
-    """Cluster-wide placement state and decisions."""
+    """Cluster-wide placement state and decisions.
 
-    def __init__(self, tracer=None) -> None:
+    ``policy`` is an optional :class:`repro.engine.policies.SchedulingPolicy`
+    that *orders candidates* for every decision below; ``None`` keeps the
+    legacy inline ordering with zero per-decision overhead.  Either way
+    the commit logic — resource accounting, blame-set filtering, index
+    maintenance — lives here, so a policy can only reorder work, never
+    corrupt state.  ``record_decisions=True`` appends every decision to
+    ``decision_log`` as ``(kind, key, outcome)`` tuples; the equality
+    test replays one operation sequence through the legacy path and
+    through ``ReactivePolicy`` and asserts the logs match byte for byte.
+    """
+
+    def __init__(self, tracer=None, policy=None, record_decisions: bool = False) -> None:
         self.ring = HashRing()
         self.workers: Dict[str, WorkerSlot] = {}
         # Placement decisions are traced (library_place/library_remove);
         # the owning manager swaps in its tracer after construction.
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.policy = policy
+        self.decision_log: Optional[List[Tuple[str, str, object]]] = (
+            [] if record_decisions else None
+        )
         self._next_instance = 1
         # library name -> {instance_id: instance} for every ready instance
         # with free_slots > 0.  Kept exact on every transition so
         # find_invocation_slot is O(1) instead of O(workers × instances).
         self._free_slots: Dict[str, Dict[int, LibraryInstance]] = {}
+
+    def _decide(self, kind: str, key: str, outcome) -> None:
+        if self.decision_log is not None:
+            self.decision_log.append((kind, key, outcome))
 
     # -- free-slot index ---------------------------------------------------
     def _reindex(self, inst: LibraryInstance) -> None:
@@ -204,8 +229,16 @@ class Placement:
 
         Returns (worker, instance_id) or ``None`` when nothing fits.
         """
-        for wname in self.ring.walk(library_name):
-            slot = self.workers[wname]
+        if self.policy is None:
+            candidates: Iterable[str] = self.ring.walk(library_name)
+        else:
+            candidates = self.policy.library_worker_order(
+                self, library_name, resources
+            )
+        for wname in candidates:
+            slot = self.workers.get(wname)
+            if slot is None:
+                continue
             if slot.pool.can_allocate(resources):
                 slot.pool.allocate(resources)
                 iid = self._next_instance
@@ -224,12 +257,27 @@ class Placement:
                     instance=iid,
                     slots=slots,
                 )
+                self._decide("library", library_name, wname)
                 return wname, iid
+        self._decide("library", library_name, None)
         return None
 
     def library_ready(self, worker: str, instance_id: int) -> None:
         inst = self.workers[worker].libraries[instance_id]
         inst.ready = True
+        self._reindex(inst)
+
+    def mark_removing(self, inst: LibraryInstance) -> None:
+        """Take ``inst`` out of scheduling while its eviction is in flight.
+
+        The instance keeps its seat in the worker's resource pool (the
+        worker still holds the process until the removal ack), but it
+        leaves the free-slot index and stops being an eviction
+        candidate: a dispatch round between the ``remove_library`` send
+        and its ack must neither route new invocations onto the dying
+        instance nor pick it as a victim a second time.
+        """
+        inst.removing = True
         self._reindex(inst)
 
     def remove_library(self, worker: str, instance_id: int) -> LibraryInstance:
@@ -262,21 +310,40 @@ class Placement:
         ring and every worker's instance table.  ``exclude`` names
         workers to skip — the retry path's blame set, so a task is never
         redispatched to a worker it was just lost on; only retried tasks
-        pay the O(free instances) filtered scan.
+        pay the O(free instances) filtered scan.  A policy may reorder
+        the free instances (sticky packs onto the warmest), but the
+        blame filter is applied *after* the policy has spoken, so no
+        policy can route a retry back onto a blamed worker.
         """
         bucket = self._free_slots.get(library_name)
         if not bucket:
+            self._decide("instance", library_name, None)
             return None
-        if not exclude:
-            return next(iter(bucket.values()))
-        banned = set(exclude)
-        for inst in bucket.values():
-            if inst.worker not in banned:
-                return inst
-        return None
+        chosen: Optional[LibraryInstance] = None
+        if self.policy is None:
+            if not exclude:
+                chosen = next(iter(bucket.values()))
+            else:
+                banned = set(exclude)
+                for inst in bucket.values():
+                    if inst.worker not in banned:
+                        chosen = inst
+                        break
+        else:
+            banned = set(exclude) if exclude else None
+            for inst in self.policy.instance_order(
+                self, library_name, bucket.values()
+            ):
+                if banned is None or inst.worker not in banned:
+                    chosen = inst
+                    break
+        self._decide(
+            "instance", library_name, None if chosen is None else chosen.instance_id
+        )
+        return chosen
 
     def find_evictable_library(
-        self, library_name: Optional[str]
+        self, library_name: Optional[str], *, now: float = 0.0
     ) -> Optional[LibraryInstance]:
         """An idle library instance eligible for eviction.
 
@@ -286,14 +353,36 @@ class Placement:
         ``library_name`` excludes instances of the wanted library itself;
         when scheduling a regular task (``library_name=None``) any idle
         library may be reclaimed.
+
+        Without a policy the victim is the first idle instance in table
+        order (deployment order — the legacy behavior).  With one, the
+        policy ranks the candidates: sticky/prewarm evict the *coldest*
+        instance and defer libraries with recent or forecast-imminent
+        arrivals, but always concede someone, so reclamation can defer a
+        warm library yet never wedge the requester.
         """
-        for slot in self.workers.values():
-            for inst in slot.libraries.values():
-                if inst.library_name == library_name:
-                    continue
-                if inst.ready and inst.idle:
-                    return inst
-        return None
+        candidates = [
+            inst
+            for slot in self.workers.values()
+            for inst in slot.libraries.values()
+            if inst.library_name != library_name
+            and inst.ready
+            and inst.idle
+            and not inst.removing
+        ]
+        if not candidates:
+            self._decide("victim", library_name or "", None)
+            return None
+        if self.policy is None:
+            victim: Optional[LibraryInstance] = candidates[0]
+        else:
+            victim = self.policy.select_victim(self, candidates, now)
+        self._decide(
+            "victim",
+            library_name or "",
+            None if victim is None else victim.instance_id,
+        )
+        return victim
 
     def start_invocation(self, inst: LibraryInstance) -> None:
         if inst.free_slots <= 0:
@@ -317,17 +406,27 @@ class Placement:
     ) -> Optional[str]:
         """Choose a worker for a regular task; commit its resources.
 
-        ``exclude`` names workers to skip (the retry blame set).
+        ``exclude`` names workers to skip (the retry blame set).  The
+        blame filter runs after any policy ordering, so no policy can
+        place a retry on a blamed worker.
         """
         banned = set(exclude) if exclude else ()
-        for wname in self.ring.walk(key):
+        if self.policy is None:
+            candidates: Iterable[str] = self.ring.walk(key)
+        else:
+            candidates = self.policy.task_worker_order(self, key, resources)
+        for wname in candidates:
             if wname in banned:
                 continue
-            slot = self.workers[wname]
+            slot = self.workers.get(wname)
+            if slot is None:
+                continue
             if slot.pool.can_allocate(resources):
                 slot.pool.allocate(resources)
                 slot.running_tasks += 1
+                self._decide("task", key, wname)
                 return wname
+        self._decide("task", key, None)
         return None
 
     def finish_task(self, worker: str, resources: Resources) -> None:
@@ -406,8 +505,8 @@ class ShardState:
       tasks (0.0 = none waiting).
     """
 
-    def __init__(self, tracer=None) -> None:
-        self.placement = Placement(tracer)
+    def __init__(self, tracer=None, policy=None) -> None:
+        self.placement = Placement(tracer, policy=policy)
         self.ready_tasks: "Deque[PythonTask]" = collections.deque()
         self.pending_invocations: "Dict[str, Deque[FunctionCall]]" = {}
         self.dirty_libraries: Set[str] = set()

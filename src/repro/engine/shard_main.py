@@ -124,6 +124,7 @@ class Shard:
         disk: int,
         workdir: str,
         library_eviction: bool = True,
+        policy: str = "",
     ):
         self.name = name
         self.log = get_logger(f"shard.{name}")
@@ -134,6 +135,7 @@ class Shard:
             workdir=os.path.join(workdir, "manager"),
             name=name,
             enable_library_eviction=library_eviction,
+            policy=policy or None,
         )
         self.factory = LocalWorkerFactory(
             self.manager,
@@ -395,6 +397,12 @@ def main(argv=None) -> int:
         action="store_true",
         help="pin library instances (no evict-empty churn under queue pressure)",
     )
+    parser.add_argument(
+        "--policy",
+        default="",
+        help="scheduling policy name for this shard's manager "
+        "(reactive/sticky/prewarm/fair; empty = legacy default)",
+    )
     args = parser.parse_args(argv)
     shard = Shard(
         args.name,
@@ -405,6 +413,7 @@ def main(argv=None) -> int:
         disk=args.disk,
         workdir=args.workdir,
         library_eviction=not args.no_library_eviction,
+        policy=args.policy,
     )
     try:
         return shard.run()

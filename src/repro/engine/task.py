@@ -60,6 +60,11 @@ class Task:
         self.not_before: float = 0.0
         # Optional wall-clock timeout enforced on the worker side.
         self.timeout: Optional[float] = None
+        # Tenant label for serving-layer policies (repro.engine.policies):
+        # the fair-share admission controller accounts queue wait and
+        # instance share per tenant.  None = the task's library name (or
+        # "<tasks>" for plain tasks), i.e. per-context accounting.
+        self.tenant: Optional[str] = None
         # Data-plane attribution (owned by the manager): argument/result
         # bytes that crossed the manager's sockets ("copied") vs. bytes
         # that traveled as shared-memory descriptors ("mapped").  Feeds

@@ -62,6 +62,7 @@ from repro.obs.statusd import (
     render_prometheus,
     status_port,
 )
+from repro.obs.arrivals import arrival_rates, read_arrivals
 from repro.obs.report import run_report, sparkline
 from repro.obs.export import (
     chrome_trace,
@@ -84,6 +85,7 @@ __all__ = [
     "StatusServer",
     "TraceEvent",
     "Tracer",
+    "arrival_rates",
     "chrome_trace",
     "cost_components",
     "cost_report",
@@ -93,6 +95,7 @@ __all__ = [
     "merge_task_timeline",
     "parse_prometheus",
     "perflog_enabled",
+    "read_arrivals",
     "read_jsonl",
     "read_perflog",
     "render_prometheus",

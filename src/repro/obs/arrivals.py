@@ -1,0 +1,52 @@
+"""Arrival-history extraction from the transaction log.
+
+The manager's txnlog (``txnlog-<component>.jsonl``, PR 4) records one
+``task_submit`` transition per submission; since the policy layer landed
+those lines carry the invocation's ``library`` (and ``tenant``), so the
+file doubles as a per-context arrival history.  This module turns a
+txnlog back into the arrival series the prewarm predictor consumes —
+``read_arrivals`` for the raw per-library timestamp lists, or
+``ArrivalHistory.seed`` (:mod:`repro.engine.policies`) to warm an online
+estimator from a previous run before the first live request lands.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.obs.perflog import read_perflog
+
+__all__ = ["read_arrivals", "arrival_rates"]
+
+
+def read_arrivals(path: str, *, event: str = "task_submit") -> Dict[str, List[float]]:
+    """Per-library arrival timestamps from a transaction log.
+
+    Returns ``{library: [t, ...]}`` in file (i.e. arrival) order.  Only
+    transitions of type ``event`` that carry a ``library`` field
+    contribute — plain tasks and pre-policy txnlogs yield an empty
+    mapping rather than an error, so the reader is safe to point at any
+    JSONL the perflog family writes.
+    """
+    out: Dict[str, List[float]] = {}
+    for row in read_perflog(path):
+        if row.get("event") != event:
+            continue
+        library = row.get("library")
+        stamp = row.get("ts")
+        if not library or not isinstance(stamp, (int, float)):
+            continue
+        out.setdefault(str(library), []).append(float(stamp))
+    return out
+
+
+def arrival_rates(path: str) -> Dict[str, float]:
+    """Mean arrivals/second per library over the txnlog's span."""
+    rates: Dict[str, float] = {}
+    for library, stamps in read_arrivals(path).items():
+        if len(stamps) < 2:
+            rates[library] = 0.0
+            continue
+        span = stamps[-1] - stamps[0]
+        rates[library] = (len(stamps) - 1) / span if span > 0 else 0.0
+    return rates

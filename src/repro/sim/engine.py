@@ -25,6 +25,7 @@ import collections
 from dataclasses import dataclass, field
 from typing import Deque, Dict, List, Optional
 
+from repro.engine.policies import ArrivalHistory, POLICIES
 from repro.errors import SimulationError
 from repro.obs.perflog import make_sample, write_perflog
 from repro.sim.calibration import CostModel, ReuseLevel, ServiceSampler
@@ -82,9 +83,23 @@ class SimManager:
         sample_every: Optional[int] = None,
         perflog_path: Optional[str] = None,
         perflog_every: float = 2.0,
+        policy: str = "reactive",
     ):
         if not fleet:
             raise SimulationError("fleet is empty")
+        # Serving-layer policy (mirrors repro.engine.policies, same
+        # registry of names).  "reactive" keeps the historical LIFO token
+        # pop; "sticky"/"prewarm" prefer the warmest free library token,
+        # and "prewarm" additionally defers idle reclamation while the
+        # arrival history forecasts imminent demand.  "fair" has no
+        # meaning without tenants, so the sim treats it as reactive.
+        name = (policy or "reactive").lower()
+        if name == "default":
+            name = "reactive"
+        if name not in POLICIES:
+            raise SimulationError(f"unknown scheduling policy {policy!r}")
+        self.policy = name
+        self._arrivals = ArrivalHistory() if name == "prewarm" else None
         workload.validate()
         self.workload = workload
         self.model = model
@@ -202,6 +217,22 @@ class SimManager:
         self._mgr_do(cost, lambda: self._send(spec, token))
 
     def _pop_token(self) -> Optional[object]:
+        # Sticky/prewarm: prefer the *warmest* free library token (most
+        # invocations served) rather than the most recently freed one, so
+        # hot contexts absorb load and surplus cold libraries idle out.
+        if self._arrivals is not None or self.policy == "sticky":
+            best = None
+            best_key: Optional[tuple] = None
+            for i, token in enumerate(self._free_tokens):
+                if not isinstance(token, _SimLibrary) or token.removed:
+                    continue
+                key = (token.served, i)
+                if best_key is None or key > best_key:
+                    best, best_key = i, key
+            if best is not None:
+                token = self._free_tokens[best]
+                del self._free_tokens[best]
+                return token
         # LIFO: reuse the most recently freed slot/library.  This mirrors
         # the manager "holding on to" a worker and filling its free slots
         # (§3.5.2), keeps hot contexts hot, and lets surplus libraries go
@@ -216,6 +247,8 @@ class SimManager:
     def _send(self, spec: InvocationSpec, token: object) -> None:
         self._dispatched += 1
         self._inflight += 1
+        if self._arrivals is not None:
+            self._arrivals.record(spec.function, self.queue.now)
         if self.level is ReuseLevel.L3:
             assert isinstance(token, _SimLibrary)
             self._begin_invocation_l3(spec, token)
@@ -432,10 +465,32 @@ class SimManager:
             return
         if self._done >= self._total:
             return  # run is over; keep the final state for the trace
+        if self._arrivals is not None and self._forecasts_demand():
+            # Prewarm keep-alive: demand is forecast within another idle
+            # period, so defer reclamation and re-check.  A forecast that
+            # never materialises goes stale (ArrivalHistory grace) and
+            # the library is reclaimed on a later check.
+            self.queue.schedule(
+                self.model.library_idle_timeout,
+                lambda: self._idle_check(lib, stamp),
+            )
+            return
         lib.removed = True
         self.trace.libraries_removed_total += 1
         self._active_libraries -= 1
         self._active_served -= lib.served
+
+    def _forecasts_demand(self) -> bool:
+        """True when any function's next arrival is forecast within one
+        idle period (sim libraries serve every function of the workload,
+        so imminent demand for *any* function justifies keep-alive)."""
+        assert self._arrivals is not None
+        now = self.queue.now
+        window = self.model.library_idle_timeout
+        return any(
+            self._arrivals.imminent(key, now, window)
+            for key in self._arrivals.keys()
+        )
 
     # ---------------------------------------------------------- live telemetry
     def _note_warm_cold(self, context: str, warm: bool) -> None:

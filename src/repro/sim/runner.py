@@ -28,6 +28,7 @@ def run_simulation(
     sample_every: Optional[int] = None,
     perflog: Optional[str] = None,
     perflog_every: float = 2.0,
+    policy: str = "reactive",
 ) -> RunResult:
     """Simulate ``workload`` at ``level`` on a Table-3-proportional fleet.
 
@@ -45,6 +46,7 @@ def run_simulation(
         sample_every=sample_every,
         perflog_path=perflog,
         perflog_every=perflog_every,
+        policy=policy,
     )
     return sim.run()
 
