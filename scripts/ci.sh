@@ -3,7 +3,9 @@
 # + benchmark smoke (every bench_*.py at ≤200 invocations) + dispatch-
 # throughput smoke with a regression check against the committed
 # baseline (BENCH_dispatch.json) + telemetry smoke (perflog/statusd
-# pipeline end to end, with a sampler-overhead budget).
+# pipeline end to end, with sampler- and federation-overhead budgets)
+# + the SLO scorecard gate (trace integrity + mouse-tenant SLOs over
+# the federated 2-shard observability plane, BENCH_slo.json).
 #
 # Usage:  scripts/ci.sh
 #
@@ -182,10 +184,56 @@ GATE
 # Live-telemetry pipeline: perflog sampler + txn log + /metrics and
 # /status server scraped mid-run, then the same workload timed in
 # back-to-back telemetry-on/off pairs, gating the minimum pair delta
-# (budget: CI_TELEMETRY_OVERHEAD_PCT, default 10% of dispatch time).
+# (budget: CI_TELEMETRY_OVERHEAD_PCT, default 10% of dispatch time),
+# plus one federation-on/off pair through a 2-shard router (budget:
+# CI_FEDERATION_OVERHEAD_PCT, default 25%).
 echo "== telemetry smoke (cap ${BENCH_CAP}s) =="
 timeout --signal=TERM --kill-after=30 "$BENCH_CAP" \
     python scripts/telemetry_smoke.py
+
+# Cluster observability + SLO scorecard: the PR-9 Zipf/fair workloads
+# replayed through a 2-shard router with tracing, per-shard perflogs,
+# and metrics federation all on.  Gates the trace integrity of the
+# federated timeline directly — zero unparented spans, zero completed
+# submissions missing a required span type — and that the fair policy
+# keeps the mouse tenant's latency + error-rate SLOs met under the hog
+# burst.  Writes BENCH_slo.json (per-tenant attainment + burn rates)
+# on every run.
+echo "== slo scorecard gate (cap ${BENCH_CAP}s) =="
+timeout --signal=TERM --kill-after=30 "$BENCH_CAP" \
+    env REPRO_BENCH_SMOKE=1 python - <<'GATE'
+import sys
+
+from repro.bench import slo_scorecard
+
+result = slo_scorecard()
+print(result.text)
+v = result.values
+if v["failed"]:
+    print(f"FAIL: {v['failed']:.0f} router-harness submissions failed")
+    sys.exit(1)
+if v["unparented_spans"]:
+    print(f"FAIL: {v['unparented_spans']:.0f} spans with no router_submit root")
+    sys.exit(1)
+if v["dropped_spans"]:
+    print(
+        f"FAIL: {v['dropped_spans']:.0f} completed submissions missing a "
+        "required span (router_submit/router_hop/shard_queue/task_cost...)"
+    )
+    sys.exit(1)
+if not v["fair_mouse_slo_met"]:
+    print(
+        "FAIL: mouse tenant SLOs not met under fair admission "
+        f"(latency attainment {v['mouse.latency.attainment']:.3f}, "
+        f"error-rate attainment {v['mouse.error_rate.attainment']:.3f})"
+    )
+    sys.exit(1)
+print(
+    f"trace health: {v['spans_total']:.0f} spans, 0 unparented, 0 dropped; "
+    f"mouse SLOs met (latency {v['mouse.latency.attainment']:.3f} >= 0.90, "
+    f"errors {v['mouse.error_rate.attainment']:.3f} >= 0.99)"
+)
+GATE
 
 echo "== tier-1 test suite (cap ${TIER1_CAP}s) =="
 timeout --signal=TERM --kill-after=30 "$TIER1_CAP" python -m pytest -x -q

@@ -28,6 +28,17 @@ Two checks, both against the real engine:
    accidental 50 Hz status-server poll loop, caught while calibrating
    this gate, measured +370 µs in every pair.
 
+3. **Federation gate** (PR 10) — the same minimum-of-pairs timing
+   through a 2-shard *router*, metrics federation OFF vs ON, failing
+   when the minimum delta exceeds ``CI_FEDERATION_OVERHEAD_PCT``
+   (default 25.0) percent of the federation-off dispatch window.  The
+   budget is much looser than the single-manager gate because each arm
+   respawns shard subprocesses, so the pair deltas carry fork/exec
+   noise the single-manager pairs don't; what the gate actually
+   protects against is a federation cost that scales with the dispatch
+   path (snapshots are pushed on ~1 Hz status frames and merged only
+   on scrape, so the true cost should be near zero).
+
 Usage:  PYTHONPATH=src python scripts/telemetry_smoke.py
 """
 
@@ -50,6 +61,9 @@ N_INVOCATIONS = int(os.environ.get("CI_TELEMETRY_N", "200"))
 OVERHEAD_N = int(os.environ.get("CI_TELEMETRY_OVERHEAD_N", "600"))
 OVERHEAD_PAIRS = int(os.environ.get("CI_TELEMETRY_OVERHEAD_PAIRS", "5"))
 OVERHEAD_PCT = float(os.environ.get("CI_TELEMETRY_OVERHEAD_PCT", "10.0"))
+FEDERATION_N = int(os.environ.get("CI_FEDERATION_N", "60"))
+FEDERATION_PAIRS = int(os.environ.get("CI_FEDERATION_PAIRS", "2"))
+FEDERATION_PCT = float(os.environ.get("CI_FEDERATION_OVERHEAD_PCT", "25.0"))
 
 
 def _noop(x):
@@ -175,9 +189,31 @@ def overhead_gate() -> None:
         raise SystemExit(1)
 
 
+def federation_gate() -> None:
+    # Cluster scope: the identical burst through a 2-shard router with
+    # federation off vs on.  The merge itself happens on scrape, off
+    # the dispatch path, so all the ON arm adds per status frame is one
+    # registry snapshot per shard per second.
+    from repro.bench.experiments import federation_overhead
+
+    result = federation_overhead(FEDERATION_N, pairs=FEDERATION_PAIRS)
+    overhead = result["overhead_pct"]
+    verdict = "OK" if overhead <= FEDERATION_PCT else "FAIL"
+    print(
+        f"{verdict}: federation overhead {overhead:+.2f}% "
+        f"({result['off_s_per_invocation'] * 1e3:.1f}ms/inv off vs "
+        f"{result['on_s_per_invocation'] * 1e3:.1f}ms/inv on; min delta of "
+        f"{FEDERATION_PAIRS} off/on router pairs at n={result['n']:.0f}, "
+        f"budget {FEDERATION_PCT:.1f}%)"
+    )
+    if verdict == "FAIL":
+        raise SystemExit(1)
+
+
 def main() -> int:
     smoke()
     overhead_gate()
+    federation_gate()
     return 0
 
 

@@ -19,9 +19,11 @@ from repro.bench.experiments import (
     fig8_invocation_length_sweep,
     fig9_worker_sweep,
     extension_examol_l3,
+    federation_overhead,
     payload_plane,
     policy_ab,
     shard_throughput,
+    slo_scorecard,
     fig10_11_library_curves,
     table2_overhead,
     table4_runtime_stats,
@@ -35,9 +37,11 @@ __all__ = [
     "format_table",
     "chaos_smoke",
     "dispatch_throughput",
+    "federation_overhead",
     "payload_plane",
     "policy_ab",
     "shard_throughput",
+    "slo_scorecard",
     "table2_overhead",
     "table4_runtime_stats",
     "table5_overhead_breakdown",

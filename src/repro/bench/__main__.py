@@ -6,6 +6,7 @@ Regenerates the paper's tables and figures from the command line::
     python -m repro.bench fig6 table4
     python -m repro.bench all --quick
     python -m repro.bench trace --out /tmp/trace.json
+    python -m repro.bench slo
 
 ``--quick`` shrinks the LNNI workload to 10k invocations (the full 100k
 runs take ~10s each on the simulator; real-engine experiments always use
@@ -41,11 +42,13 @@ EXPERIMENTS: Dict[str, Callable[..., object]] = {
     "extension_examol_l3": lambda n: experiments.extension_examol_l3(),
 }
 
-# ``trace`` and ``telemetry`` are not part of "all": they drive the real
-# engine with observability features enabled (and the trace writes a
-# file), so they only run when asked for by name.
+# ``trace``, ``telemetry``, and ``slo`` are not part of "all": they
+# drive the real engine with observability features enabled (and write
+# files — a Chrome trace, BENCH_slo.json), so they only run when asked
+# for by name.
 TRACE_EXPERIMENT = "trace"
 TELEMETRY_EXPERIMENT = "telemetry"
+SLO_EXPERIMENT = "slo"
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -67,14 +70,20 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
     if args.list:
-        for name in [*EXPERIMENTS, TRACE_EXPERIMENT, TELEMETRY_EXPERIMENT]:
+        for name in [
+            *EXPERIMENTS,
+            TRACE_EXPERIMENT,
+            TELEMETRY_EXPERIMENT,
+            SLO_EXPERIMENT,
+        ]:
             print(name)
         return 0
     chosen = list(EXPERIMENTS) if "all" in args.experiments else args.experiments
     unknown = [
         c
         for c in chosen
-        if c not in EXPERIMENTS and c not in (TRACE_EXPERIMENT, TELEMETRY_EXPERIMENT)
+        if c not in EXPERIMENTS
+        and c not in (TRACE_EXPERIMENT, TELEMETRY_EXPERIMENT, SLO_EXPERIMENT)
     ]
     if unknown:
         parser.error(f"unknown experiments: {unknown}; use --list")
@@ -85,6 +94,8 @@ def main(argv: list[str] | None = None) -> int:
             result = experiments.trace_workload(out_path=args.out)
         elif name == TELEMETRY_EXPERIMENT:
             result = experiments.telemetry_workload()
+        elif name == SLO_EXPERIMENT:
+            result = experiments.slo_scorecard()
         else:
             result = EXPERIMENTS[name](n)
         elapsed = time.monotonic() - started

@@ -1677,6 +1677,13 @@ def telemetry_workload(
         if tmp_ctx is not None:
             tmp_ctx.cleanup()
 
+    # PR 10: record the cluster-scope cost too — one federation-off vs
+    # federation-on pair through a 2-shard router, so the committed
+    # BENCH_telemetry.json baseline tracks what turning federation on
+    # costs the dispatch window (the hard CI gate lives in
+    # scripts/telemetry_smoke.py with a proper minimum-of-pairs run).
+    federation = federation_overhead(pairs=1)
+
     warm_cold = warm_cold_by_context(samples)
     values: Dict[str, object] = {
         "n": float(n_invocations + n_tasks),
@@ -1685,6 +1692,8 @@ def telemetry_workload(
         "transactions": float(len(transactions)),
         "metric_samples": float(len(metric_samples)),
         "status_workers": float(len(status_doc.get("workers", {}))),
+        "federation_n": federation["n"],
+        "federation_overhead_pct": federation["overhead_pct"],
         "warm_ratio": {
             ctx: row["warm_ratio"] for ctx, row in warm_cold.items()
         },
@@ -1693,7 +1702,11 @@ def telemetry_workload(
         f"scraped {base_url}/metrics mid-run: {len(metric_samples)} Prometheus "
         f"samples; /status saw {len(status_doc.get('workers', {}))} workers\n"
         f"perflog: {len(samples)} samples, txnlog: {len(transactions)} "
-        f"transitions\n\n" + report
+        f"transitions\n"
+        f"metrics federation (2-shard router, n={federation['n']:.0f}): "
+        f"{federation['off_s_per_invocation'] * 1e3:.1f}ms/inv off vs "
+        f"{federation['on_s_per_invocation'] * 1e3:.1f}ms/inv on "
+        f"({federation['overhead_pct']:+.1f}%)\n\n" + report
     )
     return TableResult(
         experiment="telemetry",
@@ -1702,5 +1715,327 @@ def telemetry_workload(
         paper_reference=(
             "not a paper table: live observability for the runs behind "
             "Figs 6-11 (TaskVine-style performance + transaction logs)"
+        ),
+    )
+
+
+# ---------------------------------------------------- SLO scorecard harness
+def federation_overhead(
+    n_invocations: int | None = None, pairs: int = 2
+) -> Dict[str, float]:
+    """Dispatch-window cost of metrics federation: off vs on, same router.
+
+    Both arms run the identical invocation burst through a 2-shard
+    router with the status server up; the only difference is whether
+    shards push registry snapshots on their status frames and the
+    router merges them on scrape.  Returns the *minimum* pair delta as
+    a percentage of the federation-off window — the same
+    minimum-of-pairs policy as the telemetry overhead gate, because
+    scheduler noise only ever inflates a single run, never deflates
+    every pair at once.
+    """
+    import urllib.request
+
+    n = _cap(n_invocations or (24 if _SMOKE else 80))
+
+    def window(federate: bool) -> float:
+        with Router(
+            shards=2,
+            workers_per_shard=1,
+            worker_cores=4,
+            status_port=0,
+            federate=federate,
+        ) as router:
+            library = router.create_library_from_functions(
+                "fed-bench", _telemetry_fn, function_slots=2
+            )
+            router.install_library(library)
+            calls = [
+                FunctionCall("fed-bench", "_telemetry_fn", i) for i in range(n)
+            ]
+            started = time.monotonic()
+            for call in calls:
+                router.submit(call)
+            router.wait_all(calls, timeout=300.0)
+            elapsed = time.monotonic() - started
+            if federate:
+                # Exercise the merge path the way a poller would; the
+                # scrape itself is off the dispatch window on purpose.
+                url = router.status_server.url + "/metrics"
+                with urllib.request.urlopen(url, timeout=10) as rsp:
+                    rsp.read()
+        return elapsed / n
+
+    deltas: List[float] = []
+    off_s = on_s = 0.0
+    for _ in range(max(1, pairs)):
+        off_s = window(False)
+        on_s = window(True)
+        deltas.append((on_s - off_s) / off_s * 100.0 if off_s else 0.0)
+    return {
+        "n": float(n),
+        "pairs": float(max(1, pairs)),
+        "off_s_per_invocation": off_s,
+        "on_s_per_invocation": on_s,
+        "overhead_pct": min(deltas),
+    }
+
+
+# Trace-health contract for one router-submitted invocation: every one
+# of these span types must appear in its merged timeline, or the
+# federated trace dropped something on the floor.
+_SLO_REQUIRED_SPANS = frozenset(
+    {
+        "router_submit",
+        "router_hop",
+        "shard_queue",
+        "task_submit",
+        "task_dispatch",
+        "task_cost",
+    }
+)
+
+
+def slo_scorecard(steps: int | None = None) -> TableResult:
+    """Per-tenant SLO scorecard through a 2-shard router (BENCH_slo.json).
+
+    Replays the PR-9 workloads at cluster scope with the full
+    observability plane on (tracing, per-shard perflogs, federation):
+
+    - **Arm A** drives the Zipf five-library sequence through a sticky
+      2-shard router; each hot library is a tenant with a warm-hit SLO
+      scored from the per-invocation warm/cold oracle (``env_setup > 0``
+      on the traced ``task_cost`` event means the invocation paid a cold
+      start).
+    - **Arm B** runs the hog-vs-mice admission burst under the ``fair``
+      policy, calibrated by a mice-alone run through the identical
+      topology: the mouse tenant's latency SLO bound is four times its
+      uncontended p99 queue wait (floored at 2 s), goal 0.9, plus an
+      error-rate SLO at 0.99.
+
+    Both arms also audit the federated timeline itself — zero
+    unparented spans, zero submissions missing a required span type —
+    because an SLO scored from a broken trace is fiction.  The
+    scorecard (attainment + multi-window burn rates per tenant) is
+    always written to ``BENCH_slo.json`` at the repo root; scripts/ci.sh
+    gates on the trace-health counters and the mouse SLO directly.
+    """
+    import json as _json
+    import tempfile
+
+    from repro.obs.metrics import MetricsRegistry as _Registry
+    from repro.obs.report import federated_report
+    from repro.obs.slo import SLOBoard, SLOTarget
+    from repro.obs.trace import unparented_events
+
+    steps = _cap(steps or (24 if _SMOKE else 60))
+    sequence = _policy_sequence(steps)
+    hog_calls = 12 if _SMOKE else 40
+    mouse_calls = 4 if _SMOKE else 6
+    sleep_s = float(os.environ.get("REPRO_POLICY_SLEEP", "0.25"))
+
+    unparented = dropped = spans_total = failed = 0
+    warm_obs: Dict[str, List[tuple]] = {}
+
+    tmp = tempfile.TemporaryDirectory(prefix="repro-slo-")
+    warm_dir = os.path.join(tmp.name, "warm")
+    saved = {k: os.environ.get(k) for k in ("REPRO_TRACE", "REPRO_PERFLOG_DIR")}
+    os.environ["REPRO_TRACE"] = "1"
+    try:
+        # ---- Arm A: Zipf warm-hit replay, sticky placement, 2 shards.
+        os.environ["REPRO_PERFLOG_DIR"] = warm_dir
+        with Router(
+            shards=2, workers_per_shard=1, worker_cores=3, policy="sticky"
+        ) as router:
+            for name in _POLICY_HOT_LIBS + _POLICY_COLD_LIBS:
+                library = router.create_library_from_functions(
+                    name, _policy_fn, function_slots=1
+                )
+                router.install_library(library)
+            completed = []
+            for position, lib_name in enumerate(sequence):
+                call = FunctionCall(lib_name, "_policy_fn", position)
+                call.tenant = lib_name
+                router.submit(call)
+                try:
+                    router.wait_all([call], timeout=120.0)
+                except EngineError:
+                    failed += 1
+                    break
+                if call.exception is not None:
+                    failed += 1
+                    continue
+                completed.append(call)
+            events = router.trace_events()
+            spans_total += len(events)
+            unparented += len(unparented_events(events))
+            for call in completed:
+                timeline = router.task_timeline(call)
+                if not _SLO_REQUIRED_SPANS <= {e.etype for e in timeline}:
+                    dropped += 1
+                    continue
+                cost = next(e for e in timeline if e.etype == "task_cost")
+                cold = float(cost.attrs.get("env_setup", 0.0)) > 0.0
+                warm_obs.setdefault(call.library_name, []).append(
+                    (timeline[0].ts, not cold)
+                )
+        cluster_report = federated_report(warm_dir, width=40)
+
+        # ---- Arm B: hog-vs-mice admission burst, fair policy.
+        def admission_arm(policy: str, with_hog: bool):
+            nonlocal unparented, dropped, spans_total, failed
+            os.environ["REPRO_PERFLOG_DIR"] = os.path.join(
+                tmp.name, f"{policy}-{'hog' if with_hog else 'alone'}"
+            )
+            with Router(
+                shards=2, workers_per_shard=1, worker_cores=2, policy=policy
+            ) as router:
+                for name in ("adm-hog", "adm-m0", "adm-m1", "adm-m2"):
+                    library = router.create_library_from_functions(
+                        name, _policy_fn, function_slots=1
+                    )
+                    router.install_library(library)
+                calls: List[FunctionCall] = []
+                if with_hog:
+                    for i in range(hog_calls):
+                        call = FunctionCall("adm-hog", "_policy_fn", i, sleep_s)
+                        call.tenant = "hog"
+                        calls.append(call)
+                for mouse in range(3):
+                    for i in range(mouse_calls):
+                        call = FunctionCall(f"adm-m{mouse}", "_policy_fn", i, sleep_s)
+                        call.tenant = f"mouse{mouse}"
+                        calls.append(call)
+                for call in calls:
+                    router.submit(call)
+                try:
+                    router.wait_all(
+                        calls, timeout=max(120.0, 20.0 * sleep_s * len(calls))
+                    )
+                except EngineError:
+                    pass  # stragglers surface below as ``failed``
+                events = router.trace_events()
+                spans_total += len(events)
+                unparented += len(unparented_events(events))
+                observations = []  # (tenant-group, root ts, wait, ok)
+                for call in calls:
+                    ok = (
+                        call.exception is None and "dispatched" in call.timeline
+                    )
+                    if not ok:
+                        failed += 1
+                    timeline = router.task_timeline(call)
+                    if ok and not _SLO_REQUIRED_SPANS <= {
+                        e.etype for e in timeline
+                    }:
+                        dropped += 1
+                    root_ts = timeline[0].ts if timeline else time.time()
+                    wait = (
+                        call.timeline["dispatched"] - call.timeline["submitted"]
+                        if "dispatched" in call.timeline
+                        else float("inf")
+                    )
+                    group = "hog" if call.tenant == "hog" else "mouse"
+                    observations.append((group, root_ts, wait, ok))
+                return observations
+
+        alone = admission_arm("fair", with_hog=False)
+        alone_waits = [w for g, _, w, ok in alone if g == "mouse" and ok]
+        alone_p99 = _p99(alone_waits)
+        latency_bound = max(2.0, 4.0 * alone_p99)
+        contended = admission_arm("fair", with_hog=True)
+    finally:
+        for key, value in saved.items():
+            if value is None:
+                os.environ.pop(key, None)
+            else:
+                os.environ[key] = value
+        tmp.cleanup()
+
+    # ---- Score everything against the declarative targets.
+    registry = _Registry()
+    targets = [
+        SLOTarget("mouse", "latency", goal=0.9, threshold=latency_bound),
+        SLOTarget("mouse", "error_rate", goal=0.99),
+        SLOTarget("hog", "latency", goal=0.5, threshold=latency_bound),
+    ]
+    for lib_name in _POLICY_HOT_LIBS:
+        targets.append(SLOTarget(lib_name, "warm_hit", goal=0.6))
+    board = SLOBoard(targets, registry=registry)
+    for lib_name, samples in warm_obs.items():
+        for ts, warm in samples:
+            board.observe(lib_name, "warm_hit", ts, warm)
+    for group, ts, wait, ok in contended:
+        board.observe(group, "latency", ts, ok and wait <= latency_bound)
+        board.observe(group, "error_rate", ts, ok)
+    results = board.evaluate()
+    scorecard = board.scorecard()
+    fair_mouse_slo_met = int(
+        results["mouse.latency"]["met"] and results["mouse.error_rate"]["met"]
+    )
+
+    values: Dict[str, float] = dict(scorecard)
+    values.update(
+        {
+            "n": float(steps),
+            "hog_calls": float(hog_calls),
+            "mouse_calls": float(mouse_calls),
+            "alone_mouse_p99_wait_s": alone_p99,
+            "latency_bound_s": latency_bound,
+            "fair_mouse_slo_met": float(fair_mouse_slo_met),
+            "failed": float(failed),
+            "unparented_spans": float(unparented),
+            "dropped_spans": float(dropped),
+            "spans_total": float(spans_total),
+            "slo_metrics_emitted": float(
+                sum(1 for name in registry.gauges if name.startswith("slo."))
+            ),
+        }
+    )
+
+    # The scorecard is the artifact: emit it unconditionally.
+    repo_root = os.path.abspath(
+        os.path.join(os.path.dirname(__file__), "..", "..", "..")
+    )
+    out_path = os.path.join(repo_root, "BENCH_slo.json")
+    with open(out_path, "w") as fh:
+        _json.dump(
+            {k: round(float(v), 4) for k, v in values.items()},
+            fh,
+            indent=2,
+            sort_keys=True,
+        )
+        fh.write("\n")
+
+    rows = []
+    for key, result in sorted(results.items()):
+        rows.append(
+            [
+                key,
+                f"{result['attainment']:.3f}",
+                f"{result['goal']:.2f}",
+                "yes" if result["met"] else "NO",
+                f"{result['burn']['short']:.2f}",
+                f"{result['burn']['long']:.2f}",
+                f"{result['n']}",
+            ]
+        )
+    text = (
+        format_table(
+            ["SLO", "attainment", "goal", "met", "burn(short)", "burn(long)", "n"],
+            rows,
+        )
+        + f"\n\ntrace health: {spans_total} spans, {unparented} unparented, "
+        f"{dropped} submissions missing required spans, {failed} failed\n\n"
+        + cluster_report
+    )
+    return TableResult(
+        experiment="slo_scorecard",
+        text=text,
+        values=values,
+        paper_reference=(
+            "not a paper table: per-tenant SLO scorecard over the federated "
+            "observability plane (warm-hit and fair-queueing targets, "
+            "multi-window burn rates)"
         ),
     )

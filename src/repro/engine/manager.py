@@ -262,8 +262,12 @@ class Manager:
         # docstrings): the perflog sampler ticks in _advance, warm/cold
         # classification happens at dispatch, and worker heartbeats fold
         # into per-worker gauges on every status frame.
+        # The component is the manager's *name* so that N shard managers
+        # sharing one REPRO_PERFLOG_DIR write distinct, federatable
+        # perflog-<shard>.jsonl files (the default name keeps the
+        # historical perflog-manager.jsonl for single-manager runs).
         self.perflog = get_perflog(
-            "manager", directory=perflog_dir, interval=perflog_interval
+            self.name, directory=perflog_dir, interval=perflog_interval
         )
         # context name -> {"warm": n, "cold": n}; an invocation is warm
         # when its instance has already served work (the retained-context
@@ -1724,8 +1728,25 @@ class Manager:
         the paper bills context setup to the invocation that triggered
         it — so counting ``env_setup > 0`` events over a trace counts
         cold starts exactly (the warm-hit oracle test relies on this).
+
+        Under a router the decomposition grows two cluster components:
+        ``router_hop`` (router→shard frame transit, measured by the
+        shard from the trace context's send stamp) and ``shard_queue``
+        (submit→dispatch wait in this manager's queue).  Both are 0.0 in
+        single-manager runs.
         """
         timeline = task.timeline
+        # Only router-dispatched tasks (marked by the shard with their
+        # measured hop) bill a queue component; a single manager's
+        # submit→dispatch wait stays out of the breakdown so the paper's
+        # six-column tables are bit-identical to previous PRs.
+        router_hop = getattr(task, "_router_hop_s", None)
+        shard_queue = 0.0
+        if router_hop is not None:
+            dispatched = timeline.get("dispatched")
+            submitted = timeline.get("submitted")
+            if dispatched is not None and submitted is not None:
+                shard_queue = max(0.0, dispatched - submitted)
         env_setup = float(times.get("reload_overhead", 0.0) or 0.0)
         if cold_instance is not None:
             record = self._instances.get(cold_instance)
@@ -1739,6 +1760,8 @@ class Manager:
             "task_cost",
             task_id=str(task.id),
             ok=ok,
+            router_hop=router_hop if router_hop is not None else 0.0,
+            shard_queue=shard_queue,
             code_fetch=timeline.get("overhead.code_serialize", 0.0),
             dependency_install=times.get("worker_overhead", 0.0),
             data_transfer=(

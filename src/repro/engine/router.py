@@ -42,6 +42,7 @@ shard-local handles by digest.
 from __future__ import annotations
 
 import collections
+import itertools
 import os
 import selectors
 import socket
@@ -72,7 +73,15 @@ from repro.errors import (
     TaskFailure,
     TaskRetryExhausted,
 )
-from repro.obs.metrics import MetricsRegistry, StatsShim, shard_stats
+from repro.obs.metrics import (
+    MetricsRegistry,
+    StatsShim,
+    federate_snapshots,
+    shard_stats,
+)
+from repro.obs.statusd import StatusServer
+from repro.obs.statusd import status_port as _env_status_port
+from repro.obs.trace import TraceEvent, get_tracer, merge_task_timeline
 from repro.util.logging import get_logger
 from repro.serialize.core import serialize
 from repro.serialize.source import capture_function
@@ -82,7 +91,17 @@ from repro.util.hashing import hash_bytes
 class _ShardLink:
     """Router-side record of one connected shard process."""
 
-    __slots__ = ("name", "conn", "proc", "pid", "blob_port", "status", "inflight")
+    __slots__ = (
+        "name",
+        "conn",
+        "proc",
+        "pid",
+        "blob_port",
+        "status_port",
+        "status",
+        "metrics",
+        "inflight",
+    )
 
     def __init__(self, name: str, conn: messages.Connection, proc=None):
         self.name = name
@@ -90,7 +109,11 @@ class _ShardLink:
         self.proc = proc
         self.pid: Optional[int] = None
         self.blob_port: Optional[int] = None
+        self.status_port: Optional[int] = None  # shard's bound statusd port
         self.status: Dict[str, Any] = {}
+        # Most recent full registry snapshot pushed on a shard_status
+        # frame (federation mode only); the router's /metrics merges it.
+        self.metrics: Dict[str, Any] = {}
         self.inflight: Set[int] = set()  # router-side task ids
 
     @property
@@ -147,6 +170,8 @@ class Router:
         spawn: bool = True,
         library_eviction: bool = True,
         policy: "str | SchedulingPolicy | None" = None,
+        status_port: Optional[int] = None,
+        federate: Optional[bool] = None,
     ):
         if shards < 1:
             raise EngineError("router needs at least one shard")
@@ -187,6 +212,32 @@ class Router:
         self.metrics = MetricsRegistry()
         self.stats = StatsShim(self.metrics)
         self.log = get_logger("router")
+        # Cluster trace root (no-op unless REPRO_TRACE is set): the
+        # router stamps every submission with a trace id, records the
+        # router-side spans itself, and absorbs the shard-stamped
+        # timeline shipped back on each task_done frame — so this
+        # tracer's ring holds the merged router+shard+worker+library
+        # view of the whole cluster.
+        self.tracer = get_tracer("router")
+        self._trace_seq = itertools.count()
+        # router task id -> trace id; kept after completion so callers
+        # can ask for a finished task's merged timeline.
+        self._trace_ids: Dict[int, str] = {}
+        # Metrics federation: shards push full registry snapshots on
+        # their status frames and the router's own /metrics + /status
+        # serve the merged per-shard + cluster-rollup view.  On by
+        # default whenever the router runs a status server.
+        resolved_port = (
+            status_port if status_port is not None else _env_status_port()
+        )
+        self.federate = (
+            bool(federate) if federate is not None else resolved_port is not None
+        )
+        self.status_server: Optional[StatusServer] = None
+        if resolved_port is not None:
+            self.status_server = StatusServer(
+                self._metrics_snapshot, self._status_document, port=resolved_port
+            ).start()
         if spawn:
             try:
                 self._spawn_shards(
@@ -249,6 +300,8 @@ class Router:
                 str(disk),
                 "--workdir",
                 wdir,
+                "--index",
+                str(i),
             ]
             if not self.library_eviction:
                 cmd.append("--no-library-eviction")
@@ -446,6 +499,17 @@ class Router:
                 )
         task.state = TaskState.SUBMITTED
         task.mark("submitted", time.monotonic())
+        if self.tracer.enabled:
+            # Open the cluster trace: one id per logical submission, no
+            # matter how many shards (or retries) it crosses.  The
+            # router pid makes ids unique across router restarts that
+            # share a trace dir.
+            trace_id = f"tr-{os.getpid():x}-{next(self._trace_seq):x}"
+            self._trace_ids[task.id] = trace_id
+            self.tracer.bind_task(str(task.id), trace_id)
+            self.tracer.record(
+                "router_submit", task_id=str(task.id), kind=type(task).__name__
+            )
         self._dispatch(task)
         self.stats["submitted"] += 1
         return task.id
@@ -453,7 +517,25 @@ class Router:
     def _dispatch(self, task: Task) -> None:
         shard = self._route(task)
         link = self._shards[shard]
-        self._send(link, {"type": "submit", "router_id": task.id}, self._task_blob(task))
+        frame: Dict[str, Any] = {"type": "submit", "router_id": task.id}
+        trace_id = self._trace_ids.get(task.id)
+        if trace_id is not None:
+            # Trace context crosses the wire with the submission: the
+            # shard binds its local task id to this trace id, measures
+            # the router→shard hop from sent_ts, and stamps every event
+            # it ships back.  attempt disambiguates retry re-dispatches.
+            frame["trace"] = {
+                "trace_id": trace_id,
+                "attempt": task.retries,
+                "sent_ts": time.time(),
+            }
+            self.tracer.record(
+                "router_hop",
+                task_id=str(task.id),
+                shard=shard,
+                attempt=task.retries,
+            )
+        self._send(link, frame, self._task_blob(task))
         self._inflight[task.id] = task
         self._task_shard[task.id] = shard
         link.inflight.add(task.id)
@@ -610,7 +692,14 @@ class Router:
             link = _ShardLink(name, conn)
             link.pid = hello.get("pid")
             link.blob_port = hello.get("blob_port")
-            conn.send({"type": "welcome", "router": self.address})
+            link.status_port = hello.get("status_port")
+            conn.send(
+                {
+                    "type": "welcome",
+                    "router": self.address,
+                    "federate": self.federate,
+                }
+            )
         except Exception as exc:
             self.log.warning("shard handshake failed: %s", exc)
             conn.close()
@@ -662,6 +751,9 @@ class Router:
                     stats[key] = float(value)
                 except (TypeError, ValueError):
                     pass
+            metrics = message.get("metrics")
+            if metrics is not None:
+                link.metrics = metrics
         elif mtype == "error":
             self.log.warning("shard %s error: %s", link.name, message.get("error"))
         else:
@@ -677,6 +769,10 @@ class Router:
         if task is None:
             return
         outcome = deserialize(payload)
+        # The shard ships its merged (manager+worker+library) timeline
+        # for this task, every event stamped with the trace id; absorbed
+        # here the router ring holds the full cluster view.
+        self.tracer.absorb(outcome.get("trace"))
         if "error" in outcome:
             task.set_exception(outcome["error"])
             self.stats["failed"] += 1
@@ -703,6 +799,83 @@ class Router:
             if key[0] in ("library", "staged") and key[1] not in self._shards:
                 raise EngineError(f"shard {key[1]} lost before acknowledging {key!r}")
         return self._acks.pop(key)
+
+    # -------------------------------------------------------- observability
+    def trace_events(self) -> List[TraceEvent]:
+        """Every trace event in the router's merged cluster ring."""
+        return self.tracer.events()
+
+    def trace_id_of(self, task: "Task | int") -> Optional[str]:
+        """The cluster trace id stamped on a submission (None untraced)."""
+        task_id = task if isinstance(task, int) else task.id
+        return self._trace_ids.get(task_id)
+
+    def task_timeline(self, task: "Task | int") -> List[TraceEvent]:
+        """Causally-ordered cluster-wide timeline for one submission.
+
+        Selected by trace id, not task id: shards reassign task ids
+        locally, so the trace id is the only key that survives the
+        router → shard → worker → library crossing (and shard-loss
+        retries, whose re-dispatches share the submission's trace).
+        """
+        trace_id = self.trace_id_of(task)
+        if trace_id is None:
+            return []
+        return merge_task_timeline(self.tracer.events(), trace_id=trace_id)
+
+    def _metrics_snapshot(self) -> Dict[str, Any]:
+        """Federated snapshot for /metrics; runs on the status thread.
+
+        The event loop may mutate the registry or shard table mid-read;
+        retry the cheap snapshot on the resulting RuntimeError instead
+        of locking the routing path (same pattern as the manager).
+        """
+        for _ in range(5):
+            try:
+                shards = {
+                    name: link.metrics
+                    for name, link in self._shards.items()
+                    if link.metrics
+                }
+                return federate_snapshots(self.metrics.snapshot(), shards)
+            except RuntimeError:
+                continue
+        return {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def _status_document(self) -> Dict[str, Any]:
+        """Cluster JSON for /status; runs on the status-server thread."""
+        for _ in range(5):
+            try:
+                return {
+                    "role": "router",
+                    "address": self.address,
+                    "federate": self.federate,
+                    "shards": {
+                        name: {
+                            "pid": link.pid,
+                            "blob_port": link.blob_port,
+                            "status_port": link.status_port,
+                            "inflight": len(link.inflight),
+                            "status": dict(link.status),
+                        }
+                        for name, link in sorted(self._shards.items())
+                    },
+                    "libraries": {
+                        name: {
+                            "home": record.home,
+                            "installed": sorted(record.installed),
+                            "staged": sorted(record.staged),
+                        }
+                        for name, record in sorted(self._libraries.items())
+                    },
+                    "tasks": {
+                        "inflight": len(self._inflight),
+                        "completed_buffered": len(self._completed),
+                    },
+                }
+            except RuntimeError:
+                continue
+        return {"role": "router", "error": "state snapshot raced; retry"}
 
     # ------------------------------------------------------------ shard loss
     def _shard_lost(self, link: _ShardLink, reason: str) -> None:
@@ -755,6 +928,12 @@ class Router:
                 self.stats["failed"] += 1
                 continue
             task.state = TaskState.SUBMITTED
+            self.tracer.record(
+                "task_retry",
+                task_id=str(task.id),
+                blame=f"shard:{link.name}",
+                retries=task.retries,
+            )
             self._dispatch(task)
             self.stats["requeued"] += 1
 
@@ -774,6 +953,9 @@ class Router:
         if self._closed:
             return
         self._closed = True
+        if self.status_server is not None:
+            self.status_server.stop()
+            self.status_server = None
         for link in list(self._shards.values()):
             try:
                 link.conn.send({"type": "shutdown"})

@@ -40,9 +40,32 @@ from repro.engine import messages, payloads
 from repro.engine.factory import LocalWorkerFactory
 from repro.engine.manager import Manager
 from repro.engine.task import FunctionCall, PythonTask, Task, TaskState
+from repro.obs.statusd import shard_status_port, status_port
 from repro.serialize.core import deserialize, serialize
 from repro.serialize.source import FunctionCode
 from repro.util.logging import get_logger
+
+
+def _resolve_status_port(index: int) -> Optional[int]:
+    """This shard's statusd port under the inherited REPRO_STATUS_PORT.
+
+    Deterministic offset from the router's base port (see
+    :func:`repro.obs.statusd.shard_status_port`); if the computed port
+    is already bound — another process squatting the offset — fall back
+    to an ephemeral port rather than crashing the shard at startup.
+    The bound port travels back on the register_shard frame either way.
+    """
+    port = shard_status_port(status_port(), index)
+    if port:
+        probe = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        try:
+            probe.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            probe.bind(("127.0.0.1", port))
+        except OSError:
+            return 0
+        finally:
+            probe.close()
+    return port
 
 
 class _BlobServer(threading.Thread):
@@ -125,6 +148,7 @@ class Shard:
         workdir: str,
         library_eviction: bool = True,
         policy: str = "",
+        index: int = 0,
     ):
         self.name = name
         self.log = get_logger(f"shard.{name}")
@@ -136,6 +160,7 @@ class Shard:
             name=name,
             enable_library_eviction=library_eviction,
             policy=policy or None,
+            status_port=_resolve_status_port(index),
         )
         self.factory = LocalWorkerFactory(
             self.manager,
@@ -156,15 +181,25 @@ class Shard:
                 "shard": name,
                 "pid": os.getpid(),
                 "blob_port": self.blob_server.port,
+                "status_port": (
+                    self.manager.status_server.port
+                    if self.manager.status_server is not None
+                    else None
+                ),
             }
         )
         welcome, _ = self.conn.receive(timeout=10.0)
         messages.expect(welcome, "welcome")
+        # Metrics federation: when the router asks for it, every status
+        # frame carries this shard's full registry snapshot for the
+        # router-level /metrics merge.
+        self._federate = bool(welcome.get("federate"))
         # router task id -> shard-local task; local ids are reassigned so
         # router-side ids can never collide with shard-created ones
         # (library tasks draw from this process's counter too).
         self._tasks: Dict[int, Task] = {}
         self._router_ids: Dict[int, int] = {}  # local id -> router id
+        self._trace_ctx: Dict[int, Dict[str, Any]] = {}  # local id -> trace ctx
         self._args: Dict[str, payloads.PayloadArg] = {}  # router digest -> local
         self._running = True
         self._last_status = 0.0
@@ -239,6 +274,24 @@ class Shard:
         task.state = TaskState.CREATED
         task.worker = None
         self._rewrite_args(task)
+        trace = message.get("trace")
+        if trace is not None and self.manager.tracer.enabled:
+            # Propagate the router's trace context: bind the *local* id
+            # so every manager/worker/library event this task generates
+            # is stamped with the cluster trace id, and open the shard
+            # span with the measured router→shard hop.
+            trace_id = str(trace["trace_id"])
+            self.manager.tracer.bind_task(str(task.id), trace_id)
+            self._trace_ctx[task.id] = dict(trace, trace_id=trace_id)
+            hop = max(0.0, time.time() - float(trace.get("sent_ts", time.time())))
+            task._router_hop_s = hop
+            self.manager.tracer.record(
+                "shard_queue",
+                task_id=str(task.id),
+                shard=self.name,
+                attempt=int(trace.get("attempt", 0)),
+                router_hop_s=hop,
+            )
         self.manager.submit(task)
         self._tasks[task.id] = task
         self._router_ids[task.id] = router_id
@@ -329,6 +382,7 @@ class Shard:
                 return
             router_id = self._router_ids.pop(task.id, None)
             self._tasks.pop(task.id, None)
+            ctx = self._trace_ctx.pop(task.id, None)
             if router_id is None:
                 continue  # not a router task (defensive)
             if task.exception is not None:
@@ -336,6 +390,20 @@ class Shard:
             else:
                 outcome = {"value": task._result}
             outcome["timeline"] = dict(task.timeline)
+            if ctx is not None and self.manager.tracer.enabled:
+                # Ship the shard-merged timeline (manager + worker +
+                # library events) up to the router, every event stamped
+                # with the cluster trace id.  Worker/library events were
+                # recorded remotely without a binding, so stamp them
+                # here; setdefault keeps ids the binding already wrote.
+                events = [
+                    e.to_dict()
+                    for e in self.manager.tracer.timeline(str(task.id))
+                ]
+                for d in events:
+                    d.setdefault("trace_id", ctx["trace_id"])
+                outcome["trace"] = events
+                self.manager.tracer.unbind_task(str(task.id))
             try:
                 blob = serialize(outcome)
             except Exception as exc:
@@ -368,10 +436,11 @@ class Shard:
         stats["queued"] = self.manager.state.queued_count()
         stats["running"] = len(self.manager.state.running)
         stats["workers"] = len(self.manager.connected_workers())
+        frame = {"type": "shard_status", "shard": self.name, "stats": stats}
+        if self._federate:
+            frame["metrics"] = self.manager._metrics_snapshot()
         try:
-            self.conn.send(
-                {"type": "shard_status", "shard": self.name, "stats": stats}
-            )
+            self.conn.send(frame)
         except Exception:
             self._running = False
 
@@ -403,6 +472,13 @@ def main(argv=None) -> int:
         help="scheduling policy name for this shard's manager "
         "(reactive/sticky/prewarm/fair; empty = legacy default)",
     )
+    parser.add_argument(
+        "--index",
+        type=int,
+        default=0,
+        help="shard ordinal, used to offset a shared REPRO_STATUS_PORT "
+        "so N shards don't collide on one bind",
+    )
     args = parser.parse_args(argv)
     shard = Shard(
         args.name,
@@ -414,6 +490,7 @@ def main(argv=None) -> int:
         workdir=args.workdir,
         library_eviction=not args.no_library_eviction,
         policy=args.policy,
+        index=args.index,
     )
     try:
         return shard.run()

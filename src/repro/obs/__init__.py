@@ -1,6 +1,6 @@
 """Observability: structured tracing, metrics, live telemetry, and export.
 
-The package has five layers:
+The package has six layers:
 
 - :mod:`repro.obs.trace` -- per-process ``Tracer`` objects that record
   typed lifecycle events into a bounded in-memory ring buffer.  Worker
@@ -18,7 +18,16 @@ The package has five layers:
   (JSON occupancy document) from a daemon thread in the manager.
 - :mod:`repro.obs.export` / :mod:`repro.obs.report` -- post-hoc Chrome
   ``trace_event`` export and the per-invocation cost report; the run
-  report CLI (``python -m repro.obs report``) summarizing a perflog.
+  report CLI (``python -m repro.obs report``) summarizing a perflog or
+  federating a sharded run directory (``--shard-dir``).
+- :mod:`repro.obs.slo` -- declarative per-tenant SLO targets scored
+  from observed telemetry with multi-window burn rates, emitted as
+  ``slo.*`` metrics and the ``BENCH_slo.json`` scorecard.
+
+Under a sharded router (PR 8+) the plane is cluster-wide: the router
+stamps every submission with a trace id that flows through shard,
+worker, and library frames, and federates each shard's registry into
+one merged ``/metrics`` + ``/status`` (see DESIGN.md section 2i).
 
 Everything here is disabled unless asked for: tracing via
 ``REPRO_TRACE``, the perflog sampler via ``REPRO_PERFLOG_DIR``, the
@@ -35,6 +44,7 @@ from repro.obs.trace import (
     merge_task_timeline,
     read_jsonl,
     tracing_enabled,
+    unparented_events,
     write_jsonl,
 )
 from repro.obs.metrics import (
@@ -43,6 +53,7 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
     StatsShim,
+    federate_snapshots,
 )
 from repro.obs.perflog import (
     NULL_PERFLOG,
@@ -60,15 +71,22 @@ from repro.obs.statusd import (
     StatusServer,
     parse_prometheus,
     render_prometheus,
+    shard_status_port,
     status_port,
 )
 from repro.obs.arrivals import arrival_rates, read_arrivals
-from repro.obs.report import run_report, sparkline
+from repro.obs.report import federated_report, run_report, sparkline
 from repro.obs.export import (
     chrome_trace,
     cost_components,
     cost_report,
     write_chrome_trace,
+)
+from repro.obs.slo import (
+    SLOBoard,
+    SLOTarget,
+    good_fraction_from_histogram,
+    latency_events,
 )
 
 __all__ = [
@@ -81,6 +99,8 @@ __all__ = [
     "NullTracer",
     "PerfLog",
     "SAMPLE_FIELDS",
+    "SLOBoard",
+    "SLOTarget",
     "StatsShim",
     "StatusServer",
     "TraceEvent",
@@ -89,8 +109,12 @@ __all__ = [
     "chrome_trace",
     "cost_components",
     "cost_report",
+    "federate_snapshots",
+    "federated_report",
     "get_perflog",
     "get_tracer",
+    "good_fraction_from_histogram",
+    "latency_events",
     "make_sample",
     "merge_task_timeline",
     "parse_prometheus",
@@ -101,9 +125,11 @@ __all__ = [
     "render_prometheus",
     "rss_bytes",
     "run_report",
+    "shard_status_port",
     "sparkline",
     "status_port",
     "tracing_enabled",
+    "unparented_events",
     "write_chrome_trace",
     "write_jsonl",
     "write_perflog",

@@ -3,6 +3,11 @@
 Currently one subcommand::
 
     python -m repro.obs report <perflog> [--txn <txnlog>] [--width N]
+    python -m repro.obs report --shard-dir <run-dir> [--width N]
+
+The ``--shard-dir`` form federates every ``perflog-<shard>.jsonl`` in a
+sharded run directory into one cluster report (per-shard skew,
+cluster-wide sparklines, cross-shard stragglers).
 """
 
 from __future__ import annotations

@@ -10,7 +10,8 @@ Perfetto renders one swim lane per in-flight task per process.
 
 The cost report decomposes every invocation into the paper's six cost
 components (PAPER.md section 5), taken from the manager's consolidated
-``task_cost`` events.
+``task_cost`` events — extended under a sharded router with the
+``router_hop`` and ``shard_queue`` cluster components (0.0 otherwise).
 """
 
 from __future__ import annotations
@@ -20,8 +21,14 @@ from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.obs.trace import TraceEvent, merge_task_timeline
 
-# The paper's per-invocation cost decomposition, in presentation order.
+# The paper's per-invocation cost decomposition, in presentation order,
+# extended (PR 10) with the two cluster spans a sharded deployment adds
+# in front of the worker: the router→shard frame hop and the wait in the
+# shard manager's queue.  Both are 0.0 for single-manager runs, so the
+# six-component paper tables are unchanged.
 COST_COMPONENTS = (
+    "router_hop",
+    "shard_queue",
     "code_fetch",
     "dependency_install",
     "data_transfer",
@@ -59,6 +66,11 @@ def chrome_trace(events: Iterable[TraceEvent]) -> Dict[str, object]:
             )
         return tid
 
+    # Cluster spans (PR 10): a shard_queue event carries the measured
+    # router→shard hop (rendered as a span ending at arrival), and its
+    # matching task_dispatch closes the queue-wait span it opened.
+    queue_entered: Dict[Tuple[int, Optional[str]], float] = {}
+
     for event in ordered:
         if event.pid not in seen_procs:
             seen_procs[event.pid] = event.component
@@ -73,6 +85,31 @@ def chrome_trace(events: Iterable[TraceEvent]) -> Dict[str, object]:
             )
         tid = tid_for(event.pid, event.task_id)
         ts_us = event.ts * 1e6
+        if event.etype == "shard_queue":
+            queue_entered[(event.pid, event.task_id)] = ts_us
+            hop = event.attrs.get("router_hop_s")
+            if isinstance(hop, (int, float)) and hop > 0:
+                common = {
+                    "name": "router_hop",
+                    "cat": event.component,
+                    "pid": event.pid,
+                    "tid": tid,
+                }
+                trace.append(
+                    {**common, "ph": "B", "ts": ts_us - hop * 1e6, "args": dict(event.attrs)}
+                )
+                trace.append({**common, "ph": "E", "ts": ts_us})
+        elif event.etype == "task_dispatch":
+            entered = queue_entered.pop((event.pid, event.task_id), None)
+            if entered is not None and ts_us > entered:
+                common = {
+                    "name": "shard_queue_wait",
+                    "cat": event.component,
+                    "pid": event.pid,
+                    "tid": tid,
+                }
+                trace.append({**common, "ph": "B", "ts": entered, "args": {}})
+                trace.append({**common, "ph": "E", "ts": ts_us})
         seconds = event.attrs.get("seconds")
         if isinstance(seconds, (int, float)) and seconds > 0:
             common = {

@@ -131,22 +131,87 @@ class MetricsRegistry:
             "counters": {n: c.value for n, c in self.counters.items()},
             "gauges": {n: g.value for n, g in self.gauges.items()},
             "histograms": {
-                n: {
-                    "bounds": list(h.bounds),
-                    "counts": list(h.counts),
-                    "sum": h.sum,
-                    "count": h.count,
-                    # Tail summaries: mean() alone hides stragglers.
-                    # 0.0 (not NaN) when empty keeps the snapshot strict-
-                    # JSON-serializable for the /status endpoint.
-                    "mean": h.mean if h.count else 0.0,
-                    "p50": h.quantile(0.50) if h.count else 0.0,
-                    "p95": h.quantile(0.95) if h.count else 0.0,
-                    "p99": h.quantile(0.99) if h.count else 0.0,
-                }
-                for n, h in self.histograms.items()
+                n: histogram_snapshot(h) for n, h in self.histograms.items()
             },
         }
+
+
+def histogram_snapshot(h: Histogram) -> Dict[str, object]:
+    """One histogram's snapshot entry (shared with the federation merge).
+
+    Tail summaries too: mean() alone hides stragglers.  0.0 (not NaN)
+    when empty keeps the snapshot strict-JSON-serializable for the
+    /status endpoint.
+    """
+    return {
+        "bounds": list(h.bounds),
+        "counts": list(h.counts),
+        "sum": h.sum,
+        "count": h.count,
+        "mean": h.mean if h.count else 0.0,
+        "p50": h.quantile(0.50) if h.count else 0.0,
+        "p95": h.quantile(0.95) if h.count else 0.0,
+        "p99": h.quantile(0.99) if h.count else 0.0,
+    }
+
+
+def histogram_from_snapshot(name: str, snap: Dict[str, object]) -> Histogram:
+    """Rehydrate a Histogram from a snapshot entry (quantiles recomputable)."""
+    h = Histogram(name, snap["bounds"])  # type: ignore[arg-type]
+    h.counts = [int(c) for c in snap["counts"]]  # type: ignore[union-attr]
+    h.sum = float(snap["sum"])  # type: ignore[arg-type]
+    h.count = int(snap["count"])  # type: ignore[arg-type]
+    return h
+
+
+def federate_snapshots(
+    own: Dict[str, object],
+    shard_snapshots: Dict[str, Dict[str, object]],
+) -> Dict[str, object]:
+    """Merge per-shard registry snapshots into one cluster snapshot.
+
+    Every shard instrument appears twice in the result: once under its
+    ``shard.<name>.`` prefix (the per-shard series) and once summed into
+    a ``cluster.`` rollup — counters and gauges add, histograms merge
+    bucket-wise (only across shards that share bucket bounds, which they
+    do by construction since every shard runs the same code) with the
+    quantile estimates recomputed from the merged buckets.  ``own`` is
+    the aggregator's local registry snapshot; prefixed shard entries win
+    over any stale copies the aggregator mirrored from status frames.
+    """
+    counters: Dict[str, float] = dict(own.get("counters", {}))  # type: ignore[arg-type]
+    gauges: Dict[str, float] = dict(own.get("gauges", {}))  # type: ignore[arg-type]
+    histograms: Dict[str, object] = dict(own.get("histograms", {}))  # type: ignore[arg-type]
+    roll_c: Dict[str, float] = {}
+    roll_g: Dict[str, float] = {}
+    roll_h: Dict[str, Histogram] = {}
+    for shard in sorted(shard_snapshots):
+        snap = shard_snapshots[shard]
+        prefix = f"shard.{shard}."
+        for key, value in snap.get("counters", {}).items():  # type: ignore[union-attr]
+            counters[prefix + key] = float(value)
+            roll_c[key] = roll_c.get(key, 0.0) + float(value)
+        for key, value in snap.get("gauges", {}).items():  # type: ignore[union-attr]
+            gauges[prefix + key] = float(value)
+            roll_g[key] = roll_g.get(key, 0.0) + float(value)
+        for key, hs in snap.get("histograms", {}).items():  # type: ignore[union-attr]
+            histograms[prefix + key] = dict(hs)
+            merged = roll_h.get(key)
+            if merged is None:
+                roll_h[key] = histogram_from_snapshot(f"cluster.{key}", hs)
+            elif merged.bounds == list(hs["bounds"]):
+                merged.counts = [
+                    a + int(b) for a, b in zip(merged.counts, hs["counts"])
+                ]
+                merged.sum += float(hs["sum"])
+                merged.count += int(hs["count"])
+    for key, value in roll_c.items():
+        counters[f"cluster.{key}"] = value
+    for key, value in roll_g.items():
+        gauges[f"cluster.{key}"] = value
+    for key, h in roll_h.items():
+        histograms[f"cluster.{key}"] = histogram_snapshot(h)
+    return {"counters": counters, "gauges": gauges, "histograms": histograms}
 
 
 class StatsShim(MutableMapping):

@@ -6,12 +6,22 @@ summary: utilization, ASCII-sparkline timelines of concurrency and
 cache occupancy, per-context warm-vs-cold invocation ratios, and — when
 the matching transaction log is supplied — straggler flags for tasks
 whose execute time exceeded the run's p99.
+
+Sharded runs write one ``perflog-<shard>.jsonl`` per shard manager into
+the shared ``REPRO_PERFLOG_DIR``; ``python -m repro.obs report
+--shard-dir <dir>`` federates them into one cluster report:
+time-aligned cluster-wide sparklines, per-shard load skew, and
+cross-shard stragglers against the *cluster* p99.  Pointing the plain
+single-log form at a directory is an error by design — silently merging
+whatever JSONL files happen to live there produced garbage reports.
 """
 
 from __future__ import annotations
 
 import argparse
-from typing import Any, Dict, List, Optional, Sequence
+import os
+import re
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.obs.perflog import read_perflog
 
@@ -174,19 +184,251 @@ def run_report(
     return "\n".join(lines)
 
 
+# ---------------------------------------------------------------- federation
+_PERFLOG_RE = re.compile(r"^perflog-(?P<component>.+)\.jsonl$")
+_TXNLOG_RE = re.compile(r"^txnlog-(?P<component>.+)\.jsonl$")
+
+
+def discover_shard_logs(
+    directory: str,
+) -> Tuple[Dict[str, Dict[str, Optional[str]]], List[str]]:
+    """Classify a run directory's JSONL files into shard logs and noise.
+
+    Returns ``(shards, unrelated)``: ``shards`` maps component name →
+    ``{"perflog": path, "txnlog": path-or-None}`` for every
+    ``perflog-<component>.jsonl`` the sampler naming convention
+    produces; ``unrelated`` lists every other ``*.jsonl`` in the
+    directory (orphan txnlogs included).  Unrelated files are *named*,
+    never merged — the caller decides whether their presence is fatal.
+    """
+    shards: Dict[str, Dict[str, Optional[str]]] = {}
+    txns: Dict[str, str] = {}
+    unrelated: List[str] = []
+    for entry in sorted(os.listdir(directory)):
+        path = os.path.join(directory, entry)
+        if not os.path.isfile(path) or not entry.endswith(".jsonl"):
+            continue
+        match = _PERFLOG_RE.match(entry)
+        if match is not None:
+            shards[match.group("component")] = {"perflog": path, "txnlog": None}
+            continue
+        match = _TXNLOG_RE.match(entry)
+        if match is not None:
+            txns[match.group("component")] = path
+            continue
+        unrelated.append(path)
+    for component, path in txns.items():
+        if component in shards:
+            shards[component]["txnlog"] = path
+        else:
+            unrelated.append(path)
+    return shards, sorted(unrelated)
+
+
+def cluster_series(
+    per_shard: Dict[str, Sequence[Dict[str, Any]]],
+    field: str,
+    buckets: int = 60,
+) -> List[float]:
+    """Sum one gauge field across shards on a common time base.
+
+    Shard samplers tick independently, so their stamps never line up;
+    the cluster series carries each shard's latest value forward within
+    ``buckets`` equal time slices of the overall span and sums across
+    shards per slice.
+    """
+    stamped: Dict[str, List[Tuple[float, float]]] = {}
+    lo, hi = float("inf"), float("-inf")
+    for shard, samples in per_shard.items():
+        points = [
+            (float(s.get("ts", 0.0)), float(s.get(field, 0.0) or 0.0))
+            for s in samples
+        ]
+        if not points:
+            continue
+        stamped[shard] = points
+        lo = min(lo, points[0][0])
+        hi = max(hi, points[-1][0])
+    if not stamped:
+        return []
+    span = max(hi - lo, 1e-9)
+    out: List[float] = []
+    for i in range(buckets):
+        edge = lo + span * (i + 1) / buckets
+        total = 0.0
+        for points in stamped.values():
+            value = 0.0
+            for ts, v in points:
+                if ts > edge:
+                    break
+                value = v
+            total += value
+        out.append(total)
+    return out
+
+
+def shard_skew(
+    per_shard: Dict[str, Sequence[Dict[str, Any]]], field: str = "tasks_done"
+) -> Dict[str, Any]:
+    """Per-shard share of ``field``'s final value, plus a skew ratio.
+
+    ``ratio`` is max-shard over the even-split mean — 1.0 is a perfectly
+    balanced cluster, 2.0 means the hottest shard carries twice its
+    share (expected under sticky placement with a skewed workload).
+    """
+    finals = {
+        shard: float(samples[-1].get(field, 0.0) or 0.0)
+        for shard, samples in per_shard.items()
+        if samples
+    }
+    total = sum(finals.values())
+    mean = total / len(finals) if finals else 0.0
+    return {
+        "per_shard": finals,
+        "total": total,
+        "ratio": (max(finals.values()) / mean) if finals and mean > 0 else 1.0,
+    }
+
+
+def federated_report(
+    directory: str,
+    *,
+    width: int = 60,
+) -> str:
+    """Cluster-wide report from one sharded run directory."""
+    shards, unrelated = discover_shard_logs(directory)
+    if not shards:
+        raise FileNotFoundError(
+            f"no perflog-*.jsonl files in {directory!r} (is this a run "
+            f"directory written under REPRO_PERFLOG_DIR?)"
+        )
+    per_shard: Dict[str, List[Dict[str, Any]]] = {
+        name: read_perflog(logs["perflog"]) for name, logs in sorted(shards.items())
+    }
+    transactions: List[Dict[str, Any]] = []
+    for name, logs in sorted(shards.items()):
+        if logs["txnlog"] is None:
+            continue
+        for record in read_perflog(logs["txnlog"]):
+            # Shard-qualify the task id so cross-shard stragglers are
+            # attributable (shard-local ids collide across shards).
+            record = dict(record, task=f"{name}/{record.get('task', '?')}")
+            transactions.append(record)
+    lines = [
+        f"federated report: {len(per_shard)} shard logs in {directory}",
+    ]
+    if unrelated:
+        lines.append(
+            f"  ignoring {len(unrelated)} unrelated JSONL file(s): "
+            + ", ".join(os.path.basename(p) for p in unrelated)
+        )
+    skew = shard_skew(per_shard)
+    lines.append(
+        f"  cluster tasks_done={int(skew['total'])}"
+        f"  skew ratio={skew['ratio']:.2f} (hottest shard / even split)"
+    )
+    for shard in sorted(skew["per_shard"]):
+        done = skew["per_shard"][shard]
+        share = done / skew["total"] if skew["total"] else 0.0
+        lines.append(f"    {shard:<24} done={int(done):>6}  share={share:.1%}")
+    running = cluster_series(per_shard, "tasks_running", buckets=width)
+    cache = cluster_series(per_shard, "cache_bytes", buckets=width)
+    lines.append(
+        f"  cluster tasks_running [peak {int(max(running, default=0))}]"
+        f"  {sparkline(running, width)}"
+    )
+    lines.append(
+        f"  cluster cache_bytes   [peak {max(cache, default=0.0):.3g}]"
+        f"  {sparkline(cache, width)}"
+    )
+    # Merged warm/cold: sum each context's final counters across shards
+    # (sticky placement keeps a context on one shard, but retries and
+    # re-homes can split it).
+    merged: Dict[str, Dict[str, float]] = {}
+    for samples in per_shard.values():
+        for name, stats in warm_cold_by_context(samples).items():
+            agg = merged.setdefault(name, {"warm": 0.0, "cold": 0.0})
+            agg["warm"] += stats["warm"]
+            agg["cold"] += stats["cold"]
+    if merged:
+        lines.append("  warm/cold invocations by context (cluster):")
+        for name in sorted(merged):
+            warm, cold = merged[name]["warm"], merged[name]["cold"]
+            total = warm + cold
+            lines.append(
+                f"    {name:<24} warm={int(warm):>6} cold={int(cold):>4}"
+                f"  warm_ratio={warm / total if total else 0.0:.3f}"
+            )
+    for shard in sorted(per_shard):
+        samples = per_shard[shard]
+        if not samples:
+            continue
+        running = series(samples, "tasks_running")
+        lines.append(
+            f"  {shard:<15} [{len(samples)} samples, peak running "
+            f"{int(max(running, default=0))}]  {sparkline(running, width)}"
+        )
+    if transactions:
+        info = stragglers(transactions)
+        if info["threshold"] is not None:
+            lines.append(
+                f"  cross-shard stragglers (> cluster p99 execute = "
+                f"{info['threshold']:.4f}s of {info['count']} tasks): "
+                f"{len(info['tasks'])}"
+            )
+            for entry in info["tasks"][:10]:
+                lines.append(
+                    f"    {entry['task']:<24} execute={entry['execute']:.4f}s"
+                )
+    return "\n".join(lines)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.obs report",
-        description="Summarize a JSONL performance log.",
+        description="Summarize a JSONL performance log (or a sharded run "
+        "directory with --shard-dir).",
     )
-    parser.add_argument("perflog", help="path to a perflog-*.jsonl file")
+    parser.add_argument(
+        "perflog",
+        help="path to a perflog-*.jsonl file, or a run directory "
+        "with --shard-dir",
+    )
     parser.add_argument(
         "--txn",
         default=None,
         help="matching txnlog-*.jsonl for straggler detection",
     )
+    parser.add_argument(
+        "--shard-dir",
+        action="store_true",
+        help="treat PERFLOG as a sharded run directory: federate every "
+        "perflog-<shard>.jsonl in it into one cluster report",
+    )
     parser.add_argument("--width", type=int, default=60, help="sparkline width")
     args = parser.parse_args(argv)
+    if args.shard_dir:
+        if not os.path.isdir(args.perflog):
+            parser.error(f"--shard-dir expects a directory, got {args.perflog!r}")
+        try:
+            print(federated_report(args.perflog, width=args.width))
+        except FileNotFoundError as exc:
+            parser.error(str(exc))
+        return 0
+    if os.path.isdir(args.perflog):
+        # Refuse to guess: a directory may hold many shards' logs plus
+        # arbitrary other JSONL; silently merging (or silently picking
+        # one) produces a confidently wrong report.
+        shards, unrelated = discover_shard_logs(args.perflog)
+        detail = (
+            f"found {len(shards)} shard perflog(s) and "
+            f"{len(unrelated)} unrelated JSONL file(s)"
+        )
+        parser.error(
+            f"{args.perflog!r} is a directory, not a perflog file ({detail}). "
+            f"Use --shard-dir to federate a sharded run directory, or name "
+            f"one perflog-<component>.jsonl inside it."
+        )
     samples = read_perflog(args.perflog)
     transactions = read_perflog(args.txn) if args.txn else ()
     print(run_report(samples, transactions, width=args.width))

@@ -228,3 +228,21 @@ def status_port() -> Optional[int]:
         return int(raw)
     except ValueError:
         return None
+
+
+def shard_status_port(base: Optional[int], index: int) -> Optional[int]:
+    """Per-shard status port under one inherited ``REPRO_STATUS_PORT``.
+
+    N shard processes inheriting the router's base port would all try to
+    bind it and N-1 would crash, so the allocation is deterministic: the
+    router keeps ``base`` and shard *i* takes ``base + i + 1``.  A base
+    of ``0`` (ephemeral) stays ``0`` — the kernel hands every shard a
+    distinct free port — and unset stays unset.  Either way the shard
+    reports the port it actually bound back to the router on its
+    ``register_shard`` frame, so federation never has to guess.
+    """
+    if base is None:
+        return None
+    if base == 0:
+        return 0
+    return base + index + 1

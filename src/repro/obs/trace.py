@@ -26,6 +26,10 @@ from typing import Any, Dict, Iterable, List, Optional
 # set (the hot path stays branch-free); the round-trip tests do.
 EVENT_TYPES = frozenset(
     {
+        # router (cluster front-end)
+        "router_submit",
+        "router_hop",
+        "shard_queue",
         # manager
         "task_submit",
         "task_dispatch",
@@ -55,8 +59,11 @@ EVENT_TYPES = frozenset(
 # a task's submit must sort before its dispatch, and the manager's
 # consolidated cost event always closes the timeline.
 _CAUSAL_RANK = {
+    "router_submit": 0,
     "task_submit": 0,
+    "router_hop": 1,
     "task_dispatch": 1,
+    "shard_queue": 2,
     "transfer_start": 2,
     "stage_start": 2,
     "task_cost": 9,
@@ -66,7 +73,15 @@ _DEFAULT_RANK = 5
 
 @dataclass
 class TraceEvent:
-    """One lifecycle event, stamped where it happened."""
+    """One lifecycle event, stamped where it happened.
+
+    ``trace_id`` is the cluster-wide correlation id stamped by the
+    router at submission (PR 10): shard processes reassign task ids
+    locally, so the trace id — not the task id — is what ties one
+    logical submission's events together across router, shard, worker,
+    and library processes, including retries re-homed across shards.
+    ``None`` for events recorded outside a router context.
+    """
 
     etype: str
     ts: float
@@ -75,6 +90,7 @@ class TraceEvent:
     task_id: Optional[str] = None
     seq: int = 0
     attrs: Dict[str, Any] = field(default_factory=dict)
+    trace_id: Optional[str] = None
 
     def to_dict(self) -> Dict[str, Any]:
         d = {
@@ -86,6 +102,8 @@ class TraceEvent:
         }
         if self.task_id is not None:
             d["task_id"] = self.task_id
+        if self.trace_id is not None:
+            d["trace_id"] = self.trace_id
         if self.attrs:
             d["attrs"] = self.attrs
         return d
@@ -100,6 +118,7 @@ class TraceEvent:
             task_id=d.get("task_id"),
             seq=d.get("seq", 0),
             attrs=dict(d.get("attrs", {})),
+            trace_id=d.get("trace_id"),
         )
 
 
@@ -131,14 +150,32 @@ class Tracer:
         self._ring: List[TraceEvent] = []
         self._capacity = capacity
         self._outbox: List[Dict[str, Any]] = []
+        # task id -> cluster trace id (router-stamped); record() consults
+        # it so every event keyed by a bound task carries the trace id
+        # without changing any existing call site.
+        self._trace_ids: Dict[str, str] = {}
+
+    def bind_task(self, task_id: str, trace_id: str) -> None:
+        """Associate a task id with a cluster trace id for future events."""
+        self._trace_ids[task_id] = trace_id
+
+    def unbind_task(self, task_id: str) -> Optional[str]:
+        """Drop a task's trace binding (after its terminal event shipped)."""
+        return self._trace_ids.pop(task_id, None)
+
+    def trace_id_of(self, task_id: str) -> Optional[str]:
+        return self._trace_ids.get(task_id)
 
     def record(
         self,
         etype: str,
         task_id: Optional[str] = None,
         ts: Optional[float] = None,
+        trace_id: Optional[str] = None,
         **attrs: Any,
     ) -> TraceEvent:
+        if trace_id is None and task_id is not None:
+            trace_id = self._trace_ids.get(task_id)
         event = TraceEvent(
             etype=etype,
             ts=time.time() if ts is None else ts,
@@ -147,6 +184,7 @@ class Tracer:
             task_id=task_id,
             seq=next(self._seq),
             attrs=attrs,
+            trace_id=trace_id,
         )
         self._append(event)
         if self.forward:
@@ -169,9 +207,15 @@ class Tracer:
         out, self._outbox = self._outbox, []
         return out
 
-    def events(self, task_id: Optional[str] = None) -> List[TraceEvent]:
-        if task_id is None:
+    def events(
+        self,
+        task_id: Optional[str] = None,
+        trace_id: Optional[str] = None,
+    ) -> List[TraceEvent]:
+        if task_id is None and trace_id is None:
             return list(self._ring)
+        if trace_id is not None:
+            return [e for e in self._ring if e.trace_id == trace_id]
         return [e for e in self._ring if e.task_id == task_id]
 
     def timeline(self, task_id: str) -> List[TraceEvent]:
@@ -215,7 +259,16 @@ class NullTracer:
     component = "null"
     forward = False
 
-    def record(self, etype, task_id=None, ts=None, **attrs):
+    def record(self, etype, task_id=None, ts=None, trace_id=None, **attrs):
+        return None
+
+    def bind_task(self, task_id, trace_id):
+        return None
+
+    def unbind_task(self, task_id):
+        return None
+
+    def trace_id_of(self, task_id):
         return None
 
     def absorb(self, payload):
@@ -224,7 +277,7 @@ class NullTracer:
     def drain(self):
         return None
 
-    def events(self, task_id=None):
+    def events(self, task_id=None, trace_id=None):
         return []
 
     def timeline(self, task_id):
@@ -251,31 +304,63 @@ def get_tracer(component: str) -> "Tracer | NullTracer":
         return NULL_TRACER
     from repro.util.logging import trace_dir
 
+    # The manager and the router are merge roots: they absorb remote
+    # events but never forward them further up, so their outboxes must
+    # stay empty (nothing drains them).
     return Tracer(
         component,
-        forward=(component != "manager"),
+        forward=(component not in ("manager", "router")),
         trace_dir=trace_dir(),
     )
 
 
 def merge_task_timeline(
-    events: Iterable[TraceEvent], task_id: Optional[str] = None
+    events: Iterable[TraceEvent],
+    task_id: Optional[str] = None,
+    *,
+    trace_id: Optional[str] = None,
 ) -> List[TraceEvent]:
     """Sort events from many processes into one causal order.
 
     Primary key is the wall-clock stamp; ties (common when events are
     recorded back-to-back at millisecond resolution) break on the causal
     rank of the event type, then on the per-tracer sequence number.
+    Filtering by ``trace_id`` selects one cluster-wide submission even
+    when shard processes reassigned its task id locally.
     """
-    selected = (
-        [e for e in events if e.task_id == task_id]
-        if task_id is not None
-        else list(events)
-    )
+    if trace_id is not None:
+        selected = [e for e in events if e.trace_id == trace_id]
+    elif task_id is not None:
+        selected = [e for e in events if e.task_id == task_id]
+    else:
+        selected = list(events)
     selected.sort(
         key=lambda e: (e.ts, _CAUSAL_RANK.get(e.etype, _DEFAULT_RANK), e.seq)
     )
     return selected
+
+
+def unparented_events(events: Iterable[TraceEvent]) -> List[TraceEvent]:
+    """Trace-stamped events whose trace id has no ``router_submit`` root.
+
+    The federation invariant: every event carrying a ``trace_id`` must
+    belong to a trace the router opened with a ``router_submit`` event.
+    An unparented event means a span was re-stamped with a bogus id or a
+    root was dropped from the ring — either way the merged timeline is
+    no longer trustworthy, which is why the CI scorecard gates on this
+    returning an empty list.
+    """
+    pool = list(events)
+    rooted = {
+        e.trace_id
+        for e in pool
+        if e.etype == "router_submit" and e.trace_id is not None
+    }
+    return [
+        e
+        for e in pool
+        if e.trace_id is not None and e.trace_id not in rooted
+    ]
 
 
 def write_jsonl(events: Iterable[TraceEvent], path: str) -> str:
